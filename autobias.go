@@ -1,0 +1,431 @@
+// Package autobias is a from-scratch Go implementation of AutoBias
+// (Picado et al., "Scalable and Usable Relational Learning With Automatic
+// Language Bias", SIGMOD 2021): a relational (inductive logic
+// programming) learner over an in-memory relational database, with
+// automatic induction of language bias from exact and approximate
+// inclusion dependencies, three bottom-clause sampling strategies, and
+// θ-subsumption coverage testing.
+//
+// The package is a facade over the implementation packages under
+// internal/; see DESIGN.md for the full system inventory. Typical use:
+//
+//	task := autobias.Task{DB: db, Target: "advisedBy",
+//		TargetAttrs: []string{"stud", "prof"}, Pos: pos, Neg: neg}
+//	res, err := autobias.Learn(task, autobias.Options{Method: autobias.MethodAutoBias})
+//	fmt.Println(res.Definition)
+package autobias
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bias"
+	"repro/internal/bottom"
+	"repro/internal/datagen"
+	"repro/internal/db"
+	"repro/internal/eval"
+	"repro/internal/foil"
+	"repro/internal/ind"
+	"repro/internal/learn"
+	"repro/internal/logic"
+	"repro/internal/query"
+	"repro/internal/subsume"
+)
+
+// Re-exported core types, so callers need only this package.
+type (
+	// Database is the in-memory relational engine.
+	Database = db.Database
+	// Schema describes a database's relations.
+	Schema = db.Schema
+	// Tuple is one database row.
+	Tuple = db.Tuple
+	// Example is a ground literal of the target relation.
+	Example = logic.Literal
+	// Clause is a Horn clause.
+	Clause = logic.Clause
+	// Definition is a learned set of clauses.
+	Definition = logic.Definition
+	// Bias is a language bias (predicate + mode definitions).
+	Bias = bias.Bias
+	// IND is a unary inclusion dependency.
+	IND = ind.IND
+	// TypeGraph is the Algorithm 3 graph behind an induced bias.
+	TypeGraph = bias.TypeGraph
+	// Dataset is a generated benchmark dataset.
+	Dataset = datagen.Dataset
+	// Metrics are precision/recall/F-measure.
+	Metrics = eval.Metrics
+	// CVResult aggregates cross-validation outcomes.
+	CVResult = eval.CVResult
+)
+
+// NewSchema creates an empty schema.
+func NewSchema() *Schema { return db.NewSchema() }
+
+// NewDatabase creates a database over a schema.
+func NewDatabase(s *Schema) *Database { return db.New(s) }
+
+// LoadCSVDir loads a database from a directory of <relation>.csv files.
+func LoadCSVDir(dir string) (*Database, error) { return db.LoadCSVDir(dir) }
+
+// ParseExample parses a ground target literal like "advisedBy(juan,sarita)".
+func ParseExample(s string) (Example, error) {
+	c, err := logic.ParseClause(s)
+	if err != nil {
+		return Example{}, err
+	}
+	if len(c.Body) != 0 || !c.Head.IsGround() {
+		return Example{}, fmt.Errorf("autobias: %q is not a ground fact", s)
+	}
+	return c.Head, nil
+}
+
+// ParseBias parses a language bias from its text form.
+func ParseBias(text string) (*Bias, error) { return bias.Parse(text) }
+
+// ParseClause parses a Horn clause in Datalog syntax, e.g.
+// "advisedBy(X,Y) :- publication(Z,X), publication(Z,Y).".
+func ParseClause(s string) (*Clause, error) { return logic.ParseClause(s) }
+
+// GenerateDataset builds one of the paper's five evaluation datasets:
+// "uw", "hiv", "imdb", "flt" or "sys". Scale 0 selects the default size,
+// seed 0 a fixed seed.
+func GenerateDataset(name string, scale float64, seed int64) (*Dataset, error) {
+	return datagen.Generate(name, datagen.Config{Scale: scale, Seed: seed})
+}
+
+// DatasetNames lists the generated datasets in Table 5 order.
+func DatasetNames() []string { return datagen.Names() }
+
+// Method selects how the language bias is obtained and which learner
+// runs — the five columns of the paper's Table 5.
+type Method string
+
+const (
+	// MethodCastor is the baseline: one shared type, every attribute may
+	// be a variable or a constant.
+	MethodCastor Method = "castor"
+	// MethodNoConst is the baseline without constants.
+	MethodNoConst Method = "noconst"
+	// MethodManual uses the expert-written bias with the bottom-up
+	// learner.
+	MethodManual Method = "manual"
+	// MethodAleph uses the expert-written bias with the top-down FOIL
+	// learner (Aleph emulating FOIL, §6.1).
+	MethodAleph Method = "aleph"
+	// MethodAutoBias induces the bias automatically (§3) and runs the
+	// bottom-up learner.
+	MethodAutoBias Method = "autobias"
+)
+
+// Methods lists the Table 5 methods in column order.
+func Methods() []Method {
+	return []Method{MethodCastor, MethodNoConst, MethodManual, MethodAleph, MethodAutoBias}
+}
+
+// Sampling selects the bottom-clause sampling strategy (Table 6).
+type Sampling = bottom.Strategy
+
+const (
+	// SamplingNaive samples relations uniformly and independently (§4.1).
+	SamplingNaive = bottom.Naive
+	// SamplingRandom samples over semi-joins (§4.2).
+	SamplingRandom = bottom.Random
+	// SamplingStratified samples every stratum (§4.3).
+	SamplingStratified = bottom.Stratified
+)
+
+// Task is a learning problem: a database, a target relation, examples,
+// and optionally an expert bias (required by MethodManual/MethodAleph).
+type Task struct {
+	DB          *Database
+	Target      string
+	TargetAttrs []string
+	Pos, Neg    []Example
+	Manual      *Bias
+}
+
+// TaskFromDataset adapts a generated dataset.
+func TaskFromDataset(ds *Dataset) Task {
+	return Task{DB: ds.DB, Target: ds.Target, TargetAttrs: ds.TargetAttrs,
+		Pos: ds.Pos, Neg: ds.Neg, Manual: ds.Manual}
+}
+
+// Options configures a learning run. The zero value reproduces the
+// paper's defaults: naïve sampling, 20 tuples per mode, depth 2,
+// constant-threshold 18% relative, approximate-IND error 50%.
+type Options struct {
+	// Method selects bias source and learner; empty means MethodAutoBias.
+	Method Method
+	// Sampling selects the BC sampling strategy (default naïve, §6.1).
+	Sampling Sampling
+	// Depth is the BC construction iteration count d (default 2).
+	Depth int
+	// SampleSize is s, tuples per mode/stratum (default 20).
+	SampleSize int
+	// MaxLiterals caps BC body size (default 1500).
+	MaxLiterals int
+	// ConstantThreshold is the §3.2 hyper-parameter as a relative ratio
+	// (default 0.18).
+	ConstantThreshold float64
+	// ApproxINDError is the approximate-IND error cutoff (default 0.5).
+	ApproxINDError float64
+	// INDs, when non-nil, skips IND discovery (e.g. reuse across folds).
+	INDs []IND
+	// BeamWidth for the bottom-up learner's generalization (default 3).
+	BeamWidth int
+	// EvalSampleCap bounds per-candidate scoring work (default 200).
+	EvalSampleCap int
+	// MinPrecision is the minimum-criterion precision (default 0.7).
+	MinPrecision float64
+	// SubsumeMaxNodes bounds each θ-subsumption test (default 100000).
+	SubsumeMaxNodes int
+	// Timeout bounds one learning run; 0 means unlimited. Timed-out runs
+	// return partial definitions with Result.TimedOut set (the paper's
+	// ">10h" rows).
+	Timeout time.Duration
+	// Seed fixes all randomness (default 1).
+	Seed int64
+}
+
+func (o Options) method() Method {
+	if o.Method == "" {
+		return MethodAutoBias
+	}
+	return o.Method
+}
+
+func (o Options) bottomOptions() bottom.Options {
+	return bottom.Options{
+		Strategy:    o.Sampling,
+		Depth:       o.Depth,
+		SampleSize:  o.SampleSize,
+		MaxLiterals: o.MaxLiterals,
+		Seed:        o.Seed,
+	}
+}
+
+func (o Options) subsumeOptions() subsume.Options {
+	return subsume.Options{MaxNodes: o.SubsumeMaxNodes, Seed: o.Seed}
+}
+
+// Result is the outcome of one learning run.
+type Result struct {
+	// Definition is the learned Horn definition (possibly empty).
+	Definition *Definition
+	// Bias is the language bias that was used (induced for
+	// MethodAutoBias).
+	Bias *Bias
+	// Graph is the type graph behind an induced bias (MethodAutoBias
+	// only).
+	Graph *TypeGraph
+	// Elapsed is the learning wall-clock (excluding bias induction,
+	// reported separately as BiasTime to mirror §6.1's preprocessing
+	// accounting).
+	Elapsed time.Duration
+	// BiasTime is the bias construction time (IND discovery + Algorithm 3
+	// for MethodAutoBias; ~0 otherwise).
+	BiasTime time.Duration
+	// TimedOut reports that the run hit Options.Timeout.
+	TimedOut bool
+	// Clauses is the number of learned clauses.
+	Clauses int
+
+	covers eval.CoverFunc
+	db     *Database
+}
+
+// Covers reports whether the learned definition covers the example,
+// using the same ground-BC + θ-subsumption machinery as training.
+func (r *Result) Covers(e Example) (bool, error) {
+	return r.covers(r.Definition, e)
+}
+
+// Evaluate scores the result against held-out examples using the
+// learner's own (sampled, subsumption-based) coverage — the paper's
+// evaluation protocol.
+func (r *Result) Evaluate(testPos, testNeg []Example) (Metrics, error) {
+	return eval.Evaluate(r.covers, r.Definition, testPos, testNeg)
+}
+
+// EvaluateExact scores the result with exact Datalog semantics: each
+// clause is executed as a select-project-join query over the database
+// (the §5 baseline coverage method). Slower on long clauses, but free of
+// the ground-BC sampling approximation; a budget-exhausted join counts
+// as "not covered".
+func (r *Result) EvaluateExact(testPos, testNeg []Example) (Metrics, error) {
+	eng := query.New(r.db, query.Options{})
+	covers := func(d *Definition, e Example) (bool, error) {
+		ok, err := eng.DefinitionCovers(d, e)
+		if err == query.ErrBudget {
+			return false, nil
+		}
+		return ok, err
+	}
+	return eval.Evaluate(covers, r.Definition, testPos, testNeg)
+}
+
+// ExecuteClause runs one clause as a query over a database, returning up
+// to limit derived head facts — what the rule predicts (unary heads).
+func ExecuteClause(d *Database, c *Clause, limit int) ([]Example, error) {
+	return query.New(d, query.Options{}).Bindings(c, limit, nil)
+}
+
+// BuildBias constructs the language bias a method would use, without
+// learning. For MethodAutoBias it runs IND discovery and Algorithm 3 and
+// also returns the type graph.
+func BuildBias(task Task, opts Options) (*Bias, *TypeGraph, error) {
+	switch opts.method() {
+	case MethodCastor:
+		return bias.CastorDefault(task.DB.Schema(), task.Target, len(task.TargetAttrs)), nil, nil
+	case MethodNoConst:
+		return bias.NoConstants(task.DB.Schema(), task.Target, len(task.TargetAttrs)), nil, nil
+	case MethodManual, MethodAleph:
+		if task.Manual == nil {
+			return nil, nil, fmt.Errorf("autobias: method %s needs Task.Manual", opts.method())
+		}
+		return task.Manual, nil, nil
+	case MethodAutoBias:
+		res, err := bias.Induce(task.DB, task.Target, task.TargetAttrs, examplesToTuples(task.Pos), bias.InduceOptions{
+			INDs:        opts.INDs,
+			ApproxError: opts.ApproxINDError,
+			Threshold:   constantThreshold(opts),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Bias, res.Graph, nil
+	}
+	return nil, nil, fmt.Errorf("autobias: unknown method %q", opts.Method)
+}
+
+func constantThreshold(opts Options) bias.ConstantThreshold {
+	if opts.ConstantThreshold <= 0 {
+		return bias.DefaultConstantThreshold
+	}
+	return bias.ConstantThreshold{Value: opts.ConstantThreshold, Relative: true}
+}
+
+// Learn runs one learning run end to end: build (or induce) the bias,
+// compile it, learn a definition, and return it with its coverage
+// machinery attached.
+func Learn(task Task, opts Options) (*Result, error) {
+	biasStart := time.Now()
+	b, graph, err := BuildBias(task, opts)
+	if err != nil {
+		return nil, err
+	}
+	biasTime := time.Since(biasStart)
+
+	compiled, err := b.Compile(task.DB.Schema(), task.Target, len(task.TargetAttrs))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Bias: b, Graph: graph, BiasTime: biasTime, db: task.DB}
+	start := time.Now()
+	if opts.method() == MethodAleph {
+		l := foil.New(task.DB, compiled, foil.Options{
+			Bottom:        opts.bottomOptions(),
+			Subsume:       opts.subsumeOptions(),
+			EvalSampleCap: opts.EvalSampleCap,
+			MinPrecision:  opts.MinPrecision,
+			Timeout:       opts.Timeout,
+			Seed:          opts.Seed,
+		})
+		def, stats, err := l.Learn(task.Pos, task.Neg)
+		if err != nil {
+			return nil, err
+		}
+		res.Definition = def
+		res.TimedOut = stats.TimedOut
+		res.Clauses = stats.Clauses
+		res.covers = func(d *Definition, e Example) (bool, error) {
+			return l.Coverage().DefinitionCovers(d, e)
+		}
+	} else {
+		l := learn.New(task.DB, compiled, learn.Options{
+			Bottom:        opts.bottomOptions(),
+			Subsume:       opts.subsumeOptions(),
+			BeamWidth:     opts.BeamWidth,
+			EvalSampleCap: opts.EvalSampleCap,
+			MinPrecision:  opts.MinPrecision,
+			Timeout:       opts.Timeout,
+			Seed:          opts.Seed,
+		})
+		def, stats, err := l.Learn(task.Pos, task.Neg)
+		if err != nil {
+			return nil, err
+		}
+		res.Definition = def
+		res.TimedOut = stats.TimedOut
+		res.Clauses = stats.Clauses
+		res.covers = func(d *Definition, e Example) (bool, error) {
+			return l.Coverage().DefinitionCovers(d, e)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// DiscoverINDs runs Binder-style IND discovery over the database with
+// the given approximate-error cutoff (§3.1); maxError 0 keeps only exact
+// INDs.
+func DiscoverINDs(d *Database, maxError float64) []IND {
+	return ind.Discover(d, ind.Options{MaxError: maxError})
+}
+
+// InduceBias runs the full §3 pipeline (the paper's primary
+// contribution) and returns the induced bias together with the type
+// graph and the INDs it was built from.
+func InduceBias(task Task, opts Options) (*Bias, *TypeGraph, []IND, error) {
+	res, err := bias.Induce(task.DB, task.Target, task.TargetAttrs, examplesToTuples(task.Pos), bias.InduceOptions{
+		INDs:        opts.INDs,
+		ApproxError: opts.ApproxINDError,
+		Threshold:   constantThreshold(opts),
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res.Bias, res.Graph, res.INDs, nil
+}
+
+// RenderTypeGraph prints a type graph in the style of the paper's
+// Figure 1.
+func RenderTypeGraph(g *TypeGraph, task Task) string {
+	return g.Render(task.DB.Schema(), task.Target, task.TargetAttrs)
+}
+
+// CrossValidate runs k-fold cross validation of one method over a task,
+// as in §6: learn on each fold's training split, score on its test
+// split, and average.
+func CrossValidate(task Task, opts Options, k int) (CVResult, error) {
+	folds, err := eval.KFold(task.Pos, task.Neg, k, opts.Seed+100)
+	if err != nil {
+		return CVResult{}, err
+	}
+	trainer := func(fold eval.Fold) (*Definition, eval.CoverFunc, eval.FoldOutcome, error) {
+		sub := task
+		sub.Pos, sub.Neg = fold.TrainPos, fold.TrainNeg
+		res, err := Learn(sub, opts)
+		if err != nil {
+			return nil, nil, eval.FoldOutcome{}, err
+		}
+		out := eval.FoldOutcome{Elapsed: res.Elapsed + res.BiasTime, TimedOut: res.TimedOut, Clauses: res.Clauses}
+		return res.Definition, res.covers, out, nil
+	}
+	return eval.CrossValidate(folds, trainer)
+}
+
+func examplesToTuples(examples []Example) []Tuple {
+	out := make([]Tuple, len(examples))
+	for i, e := range examples {
+		t := make(Tuple, len(e.Terms))
+		for j, term := range e.Terms {
+			t[j] = term.Name
+		}
+		out[i] = t
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§6), plus ablations of the design choices called out in
+// DESIGN.md §6. Each benchmark reports the relevant quality metric
+// (f1, defs, inds, ...) through b.ReportMetric next to the usual ns/op,
+// so a -bench run prints both the shape and the cost of each cell:
+//
+//	go test -bench 'Table5' -benchmem        # Table 5 cells
+//	go test -bench 'Table6' -benchmem        # Table 6 cells
+//	go test -bench 'Figure1|INDPrep|BiasCount'
+//	go test -bench 'Ablation'
+//
+// Benchmark datasets are scaled down (see DESIGN.md §2-3) so the full
+// grid runs on one machine; cmd/experiments regenerates the tables at
+// larger scales with cross validation.
+package autobias
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bottom"
+)
+
+// benchScale keeps one benchmark iteration in the seconds range on a
+// single core; raise it (and the budget) to approach the paper's sizes.
+const benchScale = 0.12
+
+const benchBudget = 30 * time.Second
+
+// benchTask caches generated datasets across benchmark registrations.
+var benchTasks = map[string]Task{}
+
+func taskFor(b *testing.B, name string) Task {
+	b.Helper()
+	if t, ok := benchTasks[name]; ok {
+		return t
+	}
+	ds, err := GenerateDataset(name, benchScale, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := TaskFromDataset(ds)
+	benchTasks[name] = t
+	return t
+}
+
+// splitTask holds out a third of the examples for scoring so the
+// reported f1 is a generalization estimate, not training fit.
+func splitTask(t Task) (Task, []Example, []Example) {
+	cutP := len(t.Pos) * 2 / 3
+	cutN := len(t.Neg) * 2 / 3
+	train := t
+	train.Pos, train.Neg = t.Pos[:cutP], t.Neg[:cutN]
+	return train, t.Pos[cutP:], t.Neg[cutN:]
+}
+
+// runCellBench measures one (dataset, options) cell: learn on the train
+// split, score on the test split, report f1/clauses/timeout metrics.
+func runCellBench(b *testing.B, dataset string, opts Options) {
+	b.Helper()
+	task := taskFor(b, dataset)
+	train, testPos, testNeg := splitTask(task)
+	opts.Timeout = benchBudget
+	var f1 float64
+	var clauses, timeouts int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Learn(train, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := res.Evaluate(testPos, testNeg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f1 = m.F1
+		clauses = res.Clauses
+		if res.TimedOut {
+			timeouts++
+		}
+	}
+	b.ReportMetric(f1, "f1")
+	b.ReportMetric(float64(clauses), "clauses")
+	b.ReportMetric(float64(timeouts)/float64(b.N), "timeout-rate")
+}
+
+// --- Table 5: methods of setting language bias ---------------------------
+
+func BenchmarkTable5(b *testing.B) {
+	for _, dataset := range DatasetNames() {
+		for _, method := range Methods() {
+			b.Run(fmt.Sprintf("%s/%s", dataset, method), func(b *testing.B) {
+				runCellBench(b, dataset, Options{Method: method, Seed: 1})
+			})
+		}
+	}
+}
+
+// --- Table 6: sampling techniques -----------------------------------------
+
+func BenchmarkTable6(b *testing.B) {
+	strategies := []struct {
+		name string
+		s    Sampling
+	}{
+		{"naive", SamplingNaive},
+		{"random", SamplingRandom},
+		{"stratified", SamplingStratified},
+	}
+	for _, dataset := range DatasetNames() {
+		for _, strat := range strategies {
+			b.Run(fmt.Sprintf("%s/%s", dataset, strat.name), func(b *testing.B) {
+				runCellBench(b, dataset, Options{
+					Method:   MethodAutoBias,
+					Sampling: strat.s,
+					Seed:     1,
+				})
+			})
+		}
+	}
+}
+
+// --- Figure 1: the type graph ---------------------------------------------
+
+func BenchmarkFigure1TypeGraph(b *testing.B) {
+	task := taskFor(b, "uw")
+	var nodes, edges int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, graph, _, err := InduceBias(task, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes, edges = len(graph.Nodes), len(graph.Edges)
+	}
+	b.ReportMetric(float64(nodes), "nodes")
+	b.ReportMetric(float64(edges), "edges")
+}
+
+// --- §6.1: IND preprocessing times ----------------------------------------
+
+func BenchmarkINDPreprocessing(b *testing.B) {
+	for _, dataset := range DatasetNames() {
+		b.Run(dataset, func(b *testing.B) {
+			task := taskFor(b, dataset)
+			var n int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n = len(DiscoverINDs(task.DB, 0.5))
+			}
+			b.ReportMetric(float64(n), "inds")
+		})
+	}
+}
+
+// --- §6.2: bias-size comparison (manual vs induced) ------------------------
+
+func BenchmarkBiasCount(b *testing.B) {
+	for _, dataset := range DatasetNames() {
+		b.Run(dataset, func(b *testing.B) {
+			task := taskFor(b, dataset)
+			var induced int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bias, _, err := BuildBias(task, Options{Method: MethodAutoBias})
+				if err != nil {
+					b.Fatal(err)
+				}
+				induced = bias.Size()
+			}
+			b.ReportMetric(float64(task.Manual.Size()), "manual-defs")
+			b.ReportMetric(float64(induced), "induced-defs")
+			b.ReportMetric(float64(induced)/float64(task.Manual.Size()), "ratio")
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ----------------------------------------------
+
+// BenchmarkAblationApproxIND contrasts bias induction with and without
+// approximate INDs: without them the UW co-authorship join is
+// unavailable (§3.1's motivating example) and f1 collapses.
+func BenchmarkAblationApproxIND(b *testing.B) {
+	for _, cfg := range []struct {
+		name  string
+		alpha float64
+	}{{"approx-0.5", 0.5}, {"exact-only", 0.0001}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			runCellBench(b, "uw", Options{Method: MethodAutoBias, ApproxINDError: cfg.alpha, Seed: 1})
+		})
+	}
+}
+
+// BenchmarkAblationConstantThreshold sweeps the §3.2 hyper-parameter on
+// FLT, whose concept needs constants: thresholds too low to admit the
+// airport columns as constants destroy recall.
+func BenchmarkAblationConstantThreshold(b *testing.B) {
+	for _, th := range []float64{0.01, 0.18, 0.5} {
+		b.Run(fmt.Sprintf("threshold-%.2f", th), func(b *testing.B) {
+			runCellBench(b, "flt", Options{Method: MethodAutoBias, ConstantThreshold: th, Seed: 1})
+		})
+	}
+}
+
+// BenchmarkAblationSampleSize sweeps s, the tuples kept per mode (§4.1).
+func BenchmarkAblationSampleSize(b *testing.B) {
+	for _, s := range []int{5, 20, 50} {
+		b.Run(fmt.Sprintf("s-%d", s), func(b *testing.B) {
+			runCellBench(b, "uw", Options{Method: MethodAutoBias, SampleSize: s, Seed: 1})
+		})
+	}
+}
+
+// BenchmarkAblationSubsumption contrasts θ-subsumption budgets (§5): a
+// tight node cap versus a generous one.
+func BenchmarkAblationSubsumption(b *testing.B) {
+	for _, n := range []int{500, 5000, 50000} {
+		b.Run(fmt.Sprintf("nodes-%d", n), func(b *testing.B) {
+			runCellBench(b, "uw", Options{Method: MethodAutoBias, SubsumeMaxNodes: n, Seed: 1})
+		})
+	}
+}
+
+// BenchmarkAblationBeamWidth sweeps the generalization beam (§2.3.2).
+func BenchmarkAblationBeamWidth(b *testing.B) {
+	for _, w := range []int{1, 3, 6} {
+		b.Run(fmt.Sprintf("beam-%d", w), func(b *testing.B) {
+			runCellBench(b, "uw", Options{Method: MethodAutoBias, BeamWidth: w, Seed: 1})
+		})
+	}
+}
+
+// BenchmarkAblationCoverageMethod contrasts the paper's two coverage
+// methods (§5): sampled ground BCs + θ-subsumption versus exact query
+// execution. The f1 gap quantifies the sampling approximation; the time
+// gap shows why the paper trains with subsumption.
+func BenchmarkAblationCoverageMethod(b *testing.B) {
+	task := taskFor(b, "uw")
+	train, testPos, testNeg := splitTask(task)
+	res, err := Learn(train, Options{Method: MethodAutoBias, Seed: 1, Timeout: benchBudget})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("subsumption", func(b *testing.B) {
+		var f1 float64
+		for i := 0; i < b.N; i++ {
+			m, err := res.Evaluate(testPos, testNeg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f1 = m.F1
+		}
+		b.ReportMetric(f1, "f1")
+	})
+	b.Run("query-exec", func(b *testing.B) {
+		var f1 float64
+		for i := 0; i < b.N; i++ {
+			m, err := res.EvaluateExact(testPos, testNeg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f1 = m.F1
+		}
+		b.ReportMetric(f1, "f1")
+	})
+}
+
+// BenchmarkBottomClause measures raw BC construction per strategy —
+// the §4 operation whose cost the sampling strategies trade off.
+func BenchmarkBottomClause(b *testing.B) {
+	strategies := []struct {
+		name string
+		s    Sampling
+	}{
+		{"naive", SamplingNaive},
+		{"random", SamplingRandom},
+		{"stratified", SamplingStratified},
+	}
+	for _, strat := range strategies {
+		b.Run(strat.name, func(b *testing.B) {
+			task := taskFor(b, "uw")
+			bs, _, err := BuildBias(task, Options{Method: MethodAutoBias})
+			if err != nil {
+				b.Fatal(err)
+			}
+			compiled, err := bs.Compile(task.DB.Schema(), task.Target, len(task.TargetAttrs))
+			if err != nil {
+				b.Fatal(err)
+			}
+			builder := bottom.NewBuilder(task.DB, compiled, bottom.Options{Strategy: strat.s})
+			var lits int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bc, err := builder.Construct(task.Pos[i%len(task.Pos)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				lits = len(bc.Body)
+			}
+			b.ReportMetric(float64(lits), "literals")
+		})
+	}
+}

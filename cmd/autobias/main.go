@@ -1,0 +1,154 @@
+// Command autobias learns a Horn definition of a target relation, end to
+// end: generate (or load) a database, build the language bias with the
+// chosen method, learn with the sequential-covering bottom-up learner
+// (or FOIL for -method aleph), and report the definition with its
+// training metrics.
+//
+// Usage:
+//
+//	autobias -dataset uw                         # AutoBias, default options
+//	autobias -dataset flt -method manual         # expert bias
+//	autobias -dataset hiv -sampling random       # §4.2 sampling
+//	autobias -csv ./data -target t -attrs a,b -pos pos.txt -neg neg.txt
+//
+// The -pos/-neg files hold one ground fact per line, e.g.
+// "advisedBy(juan,sarita)".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	autobias "repro"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "generated dataset: uw, hiv, imdb, flt, sys")
+	scale := flag.Float64("scale", 1, "dataset scale factor")
+	seed := flag.Int64("seed", 1, "random seed")
+	csvDir := flag.String("csv", "", "load database from a directory of <relation>.csv files")
+	target := flag.String("target", "", "target relation name (with -csv)")
+	attrs := flag.String("attrs", "", "comma-separated target attribute names (with -csv)")
+	posFile := flag.String("pos", "", "file of positive examples (with -csv)")
+	negFile := flag.String("neg", "", "file of negative examples (with -csv)")
+	method := flag.String("method", "autobias", "castor, noconst, manual, aleph, autobias")
+	sampling := flag.String("sampling", "naive", "naive, random, stratified")
+	depth := flag.Int("depth", 2, "bottom-clause construction depth d")
+	sampleSize := flag.Int("s", 20, "sample size s (tuples per mode/stratum)")
+	timeout := flag.Duration("timeout", 0, "learning budget (0 = unlimited)")
+	flag.Parse()
+
+	task, err := buildTask(*dataset, *scale, *seed, *csvDir, *target, *attrs, *posFile, *negFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autobias:", err)
+		os.Exit(1)
+	}
+	strat, err := parseSampling(*sampling)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autobias:", err)
+		os.Exit(2)
+	}
+	opts := autobias.Options{
+		Method:     autobias.Method(*method),
+		Sampling:   strat,
+		Depth:      *depth,
+		SampleSize: *sampleSize,
+		Timeout:    *timeout,
+		Seed:       *seed,
+	}
+	res, err := autobias.Learn(task, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autobias:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%% method=%s sampling=%s bias=%d defs biasTime=%v learnTime=%v clauses=%d\n",
+		*method, strat, res.Bias.Size(), res.BiasTime.Round(time.Millisecond),
+		res.Elapsed.Round(time.Millisecond), res.Clauses)
+	if res.TimedOut {
+		fmt.Println("% WARNING: learning hit its budget; definition is partial")
+	}
+	if res.Definition.Len() == 0 {
+		fmt.Println("% no definition learned")
+	} else {
+		fmt.Println(res.Definition)
+	}
+	m, err := res.Evaluate(task.Pos, task.Neg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autobias:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%% training metrics: precision=%.2f recall=%.2f f1=%.2f\n", m.Precision, m.Recall, m.F1)
+}
+
+func buildTask(dataset string, scale float64, seed int64, csvDir, target, attrs, posFile, negFile string) (autobias.Task, error) {
+	if dataset != "" {
+		ds, err := autobias.GenerateDataset(dataset, scale, seed)
+		if err != nil {
+			return autobias.Task{}, err
+		}
+		return autobias.TaskFromDataset(ds), nil
+	}
+	if csvDir == "" {
+		return autobias.Task{}, fmt.Errorf("need -dataset or -csv (with -target, -attrs, -pos, -neg)")
+	}
+	if target == "" || attrs == "" || posFile == "" || negFile == "" {
+		return autobias.Task{}, fmt.Errorf("-csv needs -target, -attrs, -pos and -neg")
+	}
+	d, err := autobias.LoadCSVDir(csvDir)
+	if err != nil {
+		return autobias.Task{}, err
+	}
+	pos, err := readExamples(posFile)
+	if err != nil {
+		return autobias.Task{}, err
+	}
+	neg, err := readExamples(negFile)
+	if err != nil {
+		return autobias.Task{}, err
+	}
+	return autobias.Task{
+		DB:          d,
+		Target:      target,
+		TargetAttrs: strings.Split(attrs, ","),
+		Pos:         pos,
+		Neg:         neg,
+	}, nil
+}
+
+func readExamples(path string) ([]autobias.Example, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []autobias.Example
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		e, err := autobias.ParseExample(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+func parseSampling(s string) (autobias.Sampling, error) {
+	switch s {
+	case "naive":
+		return autobias.SamplingNaive, nil
+	case "random":
+		return autobias.SamplingRandom, nil
+	case "stratified":
+		return autobias.SamplingStratified, nil
+	}
+	return autobias.SamplingNaive, fmt.Errorf("unknown sampling %q", s)
+}

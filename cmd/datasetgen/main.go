@@ -1,0 +1,76 @@
+// Command datasetgen materializes one of the generated evaluation
+// datasets to disk: a directory of <relation>.csv files plus pos.txt /
+// neg.txt example files and bias.txt (the expert language bias) — the
+// input format cmd/autobias consumes with -csv. Useful for inspecting
+// the data and for driving the learner from files, the way the paper's
+// users would over their own databases.
+//
+// Usage:
+//
+//	datasetgen -dataset uw -out ./uwdata
+//	autobias -csv ./uwdata/db -target advisedBy -attrs stud,prof \
+//	         -pos ./uwdata/pos.txt -neg ./uwdata/neg.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	autobias "repro"
+)
+
+func main() {
+	dataset := flag.String("dataset", "uw", "dataset: uw, hiv, imdb, flt, sys")
+	scale := flag.Float64("scale", 1, "dataset scale factor")
+	seed := flag.Int64("seed", 1, "generation seed")
+	out := flag.String("out", "", "output directory (default ./<dataset>-data)")
+	flag.Parse()
+
+	dir := *out
+	if dir == "" {
+		dir = "./" + *dataset + "-data"
+	}
+	if err := run(*dataset, *scale, *seed, dir); err != nil {
+		fmt.Fprintln(os.Stderr, "datasetgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, scale float64, seed int64, dir string) error {
+	ds, err := autobias.GenerateDataset(dataset, scale, seed)
+	if err != nil {
+		return err
+	}
+	if err := ds.DB.WriteCSVDir(filepath.Join(dir, "db")); err != nil {
+		return err
+	}
+	writeExamples := func(name string, examples []autobias.Example) error {
+		var b strings.Builder
+		for _, e := range examples {
+			b.WriteString(e.String())
+			b.WriteByte('\n')
+		}
+		return os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o644)
+	}
+	if err := writeExamples("pos.txt", ds.Pos); err != nil {
+		return err
+	}
+	if err := writeExamples("neg.txt", ds.Neg); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bias.txt"), []byte(ds.Manual.String()), 0o644); err != nil {
+		return err
+	}
+	meta := fmt.Sprintf("dataset: %s\nscale: %g\nseed: %d\ntarget: %s(%s)\ntuples: %d\npositives: %d\nnegatives: %d\nconcept: %s\n",
+		ds.Name, scale, seed, ds.Target, strings.Join(ds.TargetAttrs, ","),
+		ds.DB.TotalTuples(), len(ds.Pos), len(ds.Neg), ds.TrueDefinition)
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte(meta), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d relations, %d tuples, %d/%d examples\n",
+		dir, ds.DB.Schema().Len(), ds.DB.TotalTuples(), len(ds.Pos), len(ds.Neg))
+	return nil
+}

@@ -1,0 +1,53 @@
+// Flights: the paper's FLT workload (§6.1) — learn which flights share a
+// source and pass through a given location. The concept needs two
+// constants (the hub and the via airport), which is exactly what the
+// No-constants baseline cannot express: this example contrasts AutoBias
+// against that baseline, reproducing the FLT row of Table 5 in
+// miniature.
+//
+// Run with: go run ./examples/flights
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	autobias "repro"
+)
+
+func main() {
+	ds, err := autobias.GenerateDataset("flt", 0.15, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	task := autobias.TaskFromDataset(ds)
+	fmt.Printf("FLT: %d tuples, %d positive / %d negative flights\n",
+		task.DB.TotalTuples(), len(task.Pos), len(task.Neg))
+	fmt.Printf("generating concept: %s\n\n", ds.TrueDefinition)
+
+	for _, method := range []autobias.Method{autobias.MethodNoConst, autobias.MethodAutoBias} {
+		res, err := autobias.Learn(task, autobias.Options{
+			Method:  method,
+			Timeout: 2 * time.Minute,
+			Seed:    7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := res.Evaluate(task.Pos, task.Neg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== method %s (bias: %d defs, learned in %v)\n",
+			method, res.Bias.Size(), res.Elapsed.Round(time.Millisecond))
+		if res.Definition.Len() == 0 {
+			fmt.Println("   no definition learned — the bias cannot express the concept")
+		} else {
+			fmt.Println(res.Definition)
+		}
+		fmt.Printf("   precision=%.2f recall=%.2f f1=%.2f\n\n", m.Precision, m.Recall, m.F1)
+	}
+	fmt.Println("Without constants the hub/via pattern is inexpressible; AutoBias")
+	fmt.Println("finds it because the constant-threshold lets airport codes be #-modes.")
+}

@@ -1,0 +1,89 @@
+// Quickstart: learn advisedBy over a small UW-style database built by
+// hand with the public API — the paper's running example (§1, Table 4)
+// scaled up just enough to learn from.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	autobias "repro"
+)
+
+func main() {
+	// 1. Define the schema and load tuples (Table 2 / Table 4 style).
+	schema := autobias.NewSchema()
+	schema.MustAdd("student", "stud")
+	schema.MustAdd("professor", "prof")
+	schema.MustAdd("inPhase", "stud", "phase")
+	schema.MustAdd("publication", "title", "person")
+	db := autobias.NewDatabase(schema)
+
+	phases := []string{"pre_quals", "post_quals", "post_generals"}
+	var pos, neg []autobias.Example
+	for i := 0; i < 24; i++ {
+		stud := fmt.Sprintf("stud_%02d", i)
+		prof := fmt.Sprintf("prof_%02d", i)
+		db.MustInsert("student", stud)
+		db.MustInsert("professor", prof)
+		db.MustInsert("inPhase", stud, phases[i%3])
+
+		ex := fmt.Sprintf("advisedBy(%s,%s)", stud, prof)
+		if i%3 != 2 {
+			// Advised pairs co-author a publication.
+			title := fmt.Sprintf("pub_%02d", i)
+			db.MustInsert("publication", title, stud)
+			db.MustInsert("publication", title, prof)
+			e, err := autobias.ParseExample(ex)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pos = append(pos, e)
+		} else {
+			// Unadvised pairs publish solo work only.
+			db.MustInsert("publication", fmt.Sprintf("solo_s%02d", i), stud)
+			db.MustInsert("publication", fmt.Sprintf("solo_p%02d", i), prof)
+			e, err := autobias.ParseExample(ex)
+			if err != nil {
+				log.Fatal(err)
+			}
+			neg = append(neg, e)
+		}
+	}
+
+	task := autobias.Task{
+		DB:          db,
+		Target:      "advisedBy",
+		TargetAttrs: []string{"stud", "prof"},
+		Pos:         pos,
+		Neg:         neg,
+	}
+
+	// 2. Induce the language bias automatically (§3) and inspect it.
+	b, graph, inds, err := autobias.InduceBias(task, autobias.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovered %d INDs; induced %d predicate + %d mode definitions\n",
+		len(inds), len(b.Predicates), len(b.Modes))
+	fmt.Println("\ntype graph (cf. paper Figure 1):")
+	fmt.Println(autobias.RenderTypeGraph(graph, task))
+
+	// 3. Learn a Horn definition with the induced bias.
+	res, err := autobias.Learn(task, autobias.Options{Method: autobias.MethodAutoBias, Depth: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("learned definition:")
+	fmt.Println(res.Definition)
+
+	// 4. Score it.
+	m, err := res.Evaluate(task.Pos, task.Neg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntraining metrics: precision=%.2f recall=%.2f f1=%.2f (%v to learn)\n",
+		m.Precision, m.Recall, m.F1, res.Elapsed)
+}

@@ -1,0 +1,114 @@
+package autobias
+
+import (
+	"testing"
+	"time"
+)
+
+// TestInduceBiasAllDatasets pins the §3 pipeline across every generated
+// dataset: the induced bias must compile against the schema, type every
+// target attribute, and be at least as expressive as the expert bias in
+// definition count (§6.2 reports AutoBias generating more definitions
+// than manual on every dataset).
+func TestInduceBiasAllDatasets(t *testing.T) {
+	for _, name := range DatasetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ds, err := GenerateDataset(name, 0.1, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			task := TaskFromDataset(ds)
+			b, graph, inds, err := InduceBias(task, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(inds) == 0 && name != "sys" {
+				// SYS is a single relation; its only INDs involve the
+				// target pseudo-relation and may be empty at tiny scale.
+				t.Errorf("no INDs discovered on %s", name)
+			}
+			compiled, err := b.Compile(task.DB.Schema(), task.Target, len(task.TargetAttrs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range task.TargetAttrs {
+				if len(compiled.TypesOf(task.Target, i)) == 0 {
+					t.Errorf("target attribute %d untyped", i)
+				}
+			}
+			if b.Size() < task.Manual.Size() {
+				t.Errorf("induced bias (%d defs) smaller than manual (%d)", b.Size(), task.Manual.Size())
+			}
+			if graph == nil || len(graph.Nodes) == 0 {
+				t.Error("missing type graph")
+			}
+		})
+	}
+}
+
+// TestLearnShapeFLT pins the paper's sharpest Table 5 contrast at test
+// granularity: on FLT, AutoBias must learn the two-constant concept and
+// the No-constants baseline must not reach the same quality.
+func TestLearnShapeFLT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning runs are slow")
+	}
+	ds, err := GenerateDataset("flt", 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := TaskFromDataset(ds)
+	auto, err := Learn(task, Options{Method: MethodAutoBias, Timeout: 2 * time.Minute, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mAuto, err := auto.Evaluate(task.Pos, task.Neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mAuto.F1 < 0.9 {
+		t.Errorf("AutoBias on FLT: F1 = %.2f, want ≈1 (Table 5):\n%s", mAuto.F1, auto.Definition)
+	}
+	nc, err := Learn(task, Options{Method: MethodNoConst, Timeout: 30 * time.Second, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mNC, err := nc.Evaluate(task.Pos, task.Neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nc.TimedOut && mNC.F1 >= mAuto.F1 {
+		t.Errorf("No-const must not match AutoBias on FLT: %.2f vs %.2f", mNC.F1, mAuto.F1)
+	}
+}
+
+// TestCSVRoundTripLearning exercises the full file-based workflow: export
+// a dataset to CSV, load it back, and learn from the loaded copy.
+func TestCSVRoundTripLearning(t *testing.T) {
+	ds, err := GenerateDataset("uw", 0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := ds.DB.WriteCSVDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := TaskFromDataset(ds)
+	task.DB = loaded
+	res, err := Learn(task, Options{Method: MethodManual, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.Evaluate(task.Pos, task.Neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.F1 == 0 {
+		t.Errorf("learning over reloaded CSVs produced nothing:\n%s", res.Definition)
+	}
+}

@@ -1,0 +1,33 @@
+package bias
+
+import "testing"
+
+// FuzzParse guards the bias parser against panics and checks that
+// anything it accepts round-trips through String.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"student(T1)\nstudent(+)",
+		"inPhase(T1,T2)\ninPhase(+,#)\ninPhase(+,-)",
+		"% comment\npublication(T5,T1)",
+		"weird(+,T1)", // mixed args: predicate definition with odd names
+		"r()",
+		"(",
+		"r(+,-,#,+,-,#)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		b, err := Parse(in)
+		if err != nil {
+			return
+		}
+		back, err := Parse(b.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", b.String(), err)
+		}
+		if back.String() != b.String() {
+			t.Fatalf("round trip changed bias:\n%q\nvs\n%q", b.String(), back.String())
+		}
+	})
+}

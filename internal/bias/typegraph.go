@@ -1,0 +1,335 @@
+package bias
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/db"
+	"repro/internal/ind"
+)
+
+// TypeEdge is a type-graph edge v → u induced by the IND v ⊆ u.
+type TypeEdge struct {
+	From, To ind.AttrID
+	// Approx marks edges from approximate INDs; types propagate across at
+	// most one approximate edge per path (§3.1).
+	Approx bool
+	Error  float64
+}
+
+// TypeGraph is the directed graph of Algorithm 3: one node per attribute,
+// one edge per (deduplicated) unary IND, and the per-node type sets that
+// result from sink/cycle typing plus reverse propagation. It is exposed
+// so tools can render the paper's Figure 1.
+type TypeGraph struct {
+	Nodes []ind.AttrID
+	Edges []TypeEdge
+	// Types maps each node to its sorted assigned types.
+	Types map[ind.AttrID][]string
+}
+
+// BuildTypeGraph runs Algorithm 3 over a schema (whose attribute list
+// defines the nodes) and a set of unary INDs:
+//
+//  1. When both directions between two attributes are present and not
+//     both exact, only the lower-error direction is kept.
+//  2. Every node without outgoing edges receives a fresh type.
+//  3. Every cycle (strongly connected component of size > 1) receives one
+//     fresh shared type.
+//  4. Types propagate in reverse edge direction (v gets the types of u
+//     for each edge v → u) to a fixed point, except that a type crosses
+//     at most one approximate edge on any path.
+//  5. Any node still untyped receives a fresh type, so every attribute is
+//     always typed.
+func BuildTypeGraph(schema *db.Schema, inds []ind.IND) *TypeGraph {
+	g := &TypeGraph{Types: make(map[ind.AttrID][]string)}
+	for _, name := range schema.Names() {
+		rs := schema.Relation(name)
+		for i := 0; i < rs.Arity(); i++ {
+			g.Nodes = append(g.Nodes, ind.AttrID{Relation: name, Attr: i})
+		}
+	}
+	nodeIdx := make(map[ind.AttrID]int, len(g.Nodes))
+	for i, n := range g.Nodes {
+		nodeIdx[n] = i
+	}
+
+	g.Edges = dedupeOpposingEdges(inds, nodeIdx)
+
+	n := len(g.Nodes)
+	succ := make([][]int, n) // successor edge indexes
+	pred := make([][]int, n) // predecessor edge indexes (for propagation)
+	outDeg := make([]int, n)
+	for ei, e := range g.Edges {
+		f, t := nodeIdx[e.From], nodeIdx[e.To]
+		succ[f] = append(succ[f], ei)
+		pred[t] = append(pred[t], ei)
+		outDeg[f]++
+	}
+
+	// typeSet[node][type] = true when via exact path only; false when the
+	// type has already crossed an approximate edge.
+	typeSet := make([]map[string]bool, n)
+	for i := range typeSet {
+		typeSet[i] = make(map[string]bool)
+	}
+	nextType := 0
+	fresh := func() string {
+		nextType++
+		return fmt.Sprintf("T%d", nextType)
+	}
+
+	// Step 3: cycles. Tarjan SCC over the successor graph.
+	for _, comp := range stronglyConnected(n, succ, g.Edges, nodeIdx) {
+		if len(comp) < 2 {
+			continue
+		}
+		t := fresh()
+		for _, v := range comp {
+			typeSet[v][t] = true
+		}
+	}
+	// Step 2: sinks (no outgoing edges).
+	for v := 0; v < n; v++ {
+		if outDeg[v] == 0 {
+			typeSet[v][fresh()] = true
+		}
+	}
+
+	// Step 4: reverse propagation to fixed point. The value stored per
+	// type is "reached without crossing an approximate edge"; upgrading
+	// false→true re-enqueues so the type can continue across approximate
+	// edges later.
+	work := make([]int, 0, n)
+	inWork := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if len(typeSet[v]) > 0 {
+			work = append(work, v)
+			inWork[v] = true
+		}
+	}
+	for len(work) > 0 {
+		u := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[u] = false
+		for _, ei := range pred[u] {
+			e := g.Edges[ei]
+			v := nodeIdx[e.From]
+			changed := false
+			for t, exactPath := range typeSet[u] {
+				if e.Approx {
+					// A type may cross at most one approximate edge.
+					if !exactPath {
+						continue
+					}
+					if cur, ok := typeSet[v][t]; !ok {
+						typeSet[v][t] = false
+						changed = true
+					} else {
+						_ = cur // already present (exact or approx); nothing better to record
+					}
+				} else {
+					if cur, ok := typeSet[v][t]; !ok || (exactPath && !cur) {
+						typeSet[v][t] = exactPath || (ok && cur)
+						changed = true
+					}
+				}
+			}
+			if changed && !inWork[v] {
+				work = append(work, v)
+				inWork[v] = true
+			}
+		}
+	}
+
+	// Step 5: safety net for untyped nodes (possible when a node's only
+	// outgoing edges are approximate and lead to approximately reached
+	// types).
+	for v := 0; v < n; v++ {
+		if len(typeSet[v]) == 0 {
+			typeSet[v][fresh()] = true
+		}
+	}
+
+	for v, node := range g.Nodes {
+		types := make([]string, 0, len(typeSet[v]))
+		for t := range typeSet[v] {
+			types = append(types, t)
+		}
+		sort.Strings(types)
+		g.Types[node] = types
+	}
+	return g
+}
+
+// dedupeOpposingEdges applies the paper's rule: when approximate INDs
+// exist in both directions between the same attribute pair, keep only the
+// lower-error one (both kept when both are exact, forming a cycle; ties
+// between approximate directions broken lexicographically).
+func dedupeOpposingEdges(inds []ind.IND, nodeIdx map[ind.AttrID]int) []TypeEdge {
+	type pairKey struct{ a, b ind.AttrID }
+	norm := func(x, y ind.AttrID) pairKey {
+		if attrLess(x, y) {
+			return pairKey{x, y}
+		}
+		return pairKey{y, x}
+	}
+	byPair := make(map[pairKey][]ind.IND)
+	for _, i := range inds {
+		if _, ok := nodeIdx[i.From]; !ok {
+			continue
+		}
+		if _, ok := nodeIdx[i.To]; !ok {
+			continue
+		}
+		k := norm(i.From, i.To)
+		byPair[k] = append(byPair[k], i)
+	}
+	keys := make([]pairKey, 0, len(byPair))
+	for k := range byPair {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return attrLess(keys[i].a, keys[j].a)
+		}
+		return attrLess(keys[i].b, keys[j].b)
+	})
+	var out []TypeEdge
+	for _, k := range keys {
+		group := byPair[k]
+		if len(group) == 1 {
+			out = append(out, toEdge(group[0]))
+			continue
+		}
+		// Two directions. Keep both only if both exact.
+		a, b := group[0], group[1]
+		if a.IsExact() && b.IsExact() {
+			out = append(out, toEdge(a), toEdge(b))
+			continue
+		}
+		keep := a
+		switch {
+		case b.Error < a.Error:
+			keep = b
+		case b.Error == a.Error && attrLess(b.From, a.From):
+			keep = b
+		}
+		out = append(out, toEdge(keep))
+	}
+	return out
+}
+
+func toEdge(i ind.IND) TypeEdge {
+	return TypeEdge{From: i.From, To: i.To, Approx: !i.IsExact(), Error: i.Error}
+}
+
+func attrLess(a, b ind.AttrID) bool {
+	if a.Relation != b.Relation {
+		return a.Relation < b.Relation
+	}
+	return a.Attr < b.Attr
+}
+
+// stronglyConnected returns the strongly connected components (as node
+// index slices) of the graph, using an iterative Tarjan algorithm.
+func stronglyConnected(n int, succ [][]int, edges []TypeEdge, nodeIdx map[ind.AttrID]int) [][]int {
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var stack []int
+	var comps [][]int
+	counter := 0
+
+	type frame struct {
+		v, ei int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		frames := []frame{{v: start}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(succ[f.v]) {
+				e := edges[succ[f.v][f.ei]]
+				w := nodeIdx[e.To]
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// Render prints the type graph in a readable text form mirroring the
+// paper's Figure 1: one line per node with its types, then one line per
+// edge (solid "->" for exact INDs, dashed "-->" for approximate).
+func (g *TypeGraph) Render(schema *db.Schema, target string, targetAttrs []string) string {
+	attrName := func(a ind.AttrID) string {
+		if a.Relation == target && a.Attr < len(targetAttrs) {
+			return fmt.Sprintf("%s[%s]", a.Relation, targetAttrs[a.Attr])
+		}
+		if rs := schema.Relation(a.Relation); rs != nil && a.Attr < rs.Arity() {
+			return fmt.Sprintf("%s[%s]", a.Relation, rs.Attributes[a.Attr])
+		}
+		return a.String()
+	}
+	var b strings.Builder
+	b.WriteString("nodes:\n")
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "  %-32s : %s\n", attrName(n), strings.Join(g.Types[n], ","))
+	}
+	b.WriteString("edges:\n")
+	for _, e := range g.Edges {
+		arrow := "->"
+		suffix := ""
+		if e.Approx {
+			arrow = "-->"
+			suffix = fmt.Sprintf(" (α=%.2f)", e.Error)
+		}
+		fmt.Fprintf(&b, "  %s %s %s%s\n", attrName(e.From), arrow, attrName(e.To), suffix)
+	}
+	return b.String()
+}

@@ -1,0 +1,357 @@
+package bias
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/ind"
+)
+
+func attr(rel string, i int) ind.AttrID { return ind.AttrID{Relation: rel, Attr: i} }
+
+func exact(from, to ind.AttrID) ind.IND { return ind.IND{From: from, To: to} }
+
+func approx(from, to ind.AttrID, e float64) ind.IND {
+	return ind.IND{From: from, To: to, Error: e}
+}
+
+// figure1Schema mirrors the paper's Figure 1 fragment.
+func figure1Schema() *db.Schema {
+	s := db.NewSchema()
+	s.MustAdd("student", "stud")
+	s.MustAdd("professor", "prof")
+	s.MustAdd("inPhase", "stud", "phase")
+	s.MustAdd("ta", "course", "stud", "term")
+	s.MustAdd("publication", "title", "author")
+	return s
+}
+
+func figure1INDs() []ind.IND {
+	return []ind.IND{
+		exact(attr("inPhase", 0), attr("student", 0)),
+		exact(attr("ta", 1), attr("student", 0)),
+		approx(attr("publication", 1), attr("student", 0), 0.5),
+		approx(attr("publication", 1), attr("professor", 0), 0.5),
+	}
+}
+
+func hasType(g *TypeGraph, a ind.AttrID, t string) bool {
+	for _, ty := range g.Types[a] {
+		if ty == t {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTypeGraphFigure1(t *testing.T) {
+	g := BuildTypeGraph(figure1Schema(), figure1INDs())
+	// Sinks: student[stud], professor[prof], inPhase[phase], ta[course],
+	// ta[term], publication[title] — each gets its own fresh type.
+	studType := g.Types[attr("student", 0)]
+	profType := g.Types[attr("professor", 0)]
+	if len(studType) != 1 || len(profType) != 1 || studType[0] == profType[0] {
+		t.Fatalf("sink types: student=%v professor=%v", studType, profType)
+	}
+	// inPhase[stud] and ta[stud] inherit the student type via exact edges.
+	if !hasType(g, attr("inPhase", 0), studType[0]) {
+		t.Errorf("inPhase[stud] types = %v, want %v", g.Types[attr("inPhase", 0)], studType)
+	}
+	if !hasType(g, attr("ta", 1), studType[0]) {
+		t.Errorf("ta[stud] types = %v, want %v", g.Types[attr("ta", 1)], studType)
+	}
+	// publication[author] inherits BOTH the student and professor types
+	// via approximate edges (the paper's publication(T5,T1)/(T5,T3) case).
+	if !hasType(g, attr("publication", 1), studType[0]) || !hasType(g, attr("publication", 1), profType[0]) {
+		t.Errorf("publication[author] types = %v, want both %v and %v",
+			g.Types[attr("publication", 1)], studType, profType)
+	}
+	// Every node is typed.
+	for _, n := range g.Nodes {
+		if len(g.Types[n]) == 0 {
+			t.Errorf("node %v untyped", n)
+		}
+	}
+}
+
+func TestTypeGraphCycleGetsOneType(t *testing.T) {
+	s := db.NewSchema()
+	s.MustAdd("r1", "a")
+	s.MustAdd("r2", "b")
+	g := BuildTypeGraph(s, []ind.IND{
+		exact(attr("r1", 0), attr("r2", 0)),
+		exact(attr("r2", 0), attr("r1", 0)),
+	})
+	t1, t2 := g.Types[attr("r1", 0)], g.Types[attr("r2", 0)]
+	if len(t1) != 1 || len(t2) != 1 || t1[0] != t2[0] {
+		t.Fatalf("cycle nodes must share one type: %v vs %v", t1, t2)
+	}
+}
+
+func TestTypeGraphThreeCycle(t *testing.T) {
+	s := db.NewSchema()
+	s.MustAdd("r1", "a")
+	s.MustAdd("r2", "b")
+	s.MustAdd("r3", "c")
+	g := BuildTypeGraph(s, []ind.IND{
+		exact(attr("r1", 0), attr("r2", 0)),
+		exact(attr("r2", 0), attr("r3", 0)),
+		exact(attr("r3", 0), attr("r1", 0)),
+	})
+	t1 := g.Types[attr("r1", 0)]
+	if len(t1) != 1 {
+		t.Fatalf("r1 types = %v", t1)
+	}
+	for _, r := range []string{"r2", "r3"} {
+		if got := g.Types[attr(r, 0)]; len(got) != 1 || got[0] != t1[0] {
+			t.Fatalf("%s types = %v, want %v", r, got, t1)
+		}
+	}
+}
+
+func TestTypeGraphApproxSingleHop(t *testing.T) {
+	// Chain a --approx--> b --approx--> c (sink). c's type must reach b
+	// but NOT a: approximate errors accumulate, so types cross at most one
+	// approximate edge (§3.1).
+	s := db.NewSchema()
+	s.MustAdd("ra", "a")
+	s.MustAdd("rb", "b")
+	s.MustAdd("rc", "c")
+	g := BuildTypeGraph(s, []ind.IND{
+		approx(attr("ra", 0), attr("rb", 0), 0.3),
+		approx(attr("rb", 0), attr("rc", 0), 0.3),
+	})
+	cType := g.Types[attr("rc", 0)][0]
+	if !hasType(g, attr("rb", 0), cType) {
+		t.Errorf("b must inherit c's type over one approximate hop; got %v", g.Types[attr("rb", 0)])
+	}
+	if hasType(g, attr("ra", 0), cType) {
+		t.Errorf("a must NOT inherit c's type over two approximate hops; got %v", g.Types[attr("ra", 0)])
+	}
+	// a still ends up typed (fallback fresh type).
+	if len(g.Types[attr("ra", 0)]) == 0 {
+		t.Error("a must receive a fallback type")
+	}
+}
+
+func TestTypeGraphApproxAfterExactChain(t *testing.T) {
+	// a --exact--> b --approx--> c (sink): type crosses the approximate
+	// edge once, then continues over the exact edge. a must get c's type.
+	s := db.NewSchema()
+	s.MustAdd("ra", "a")
+	s.MustAdd("rb", "b")
+	s.MustAdd("rc", "c")
+	g := BuildTypeGraph(s, []ind.IND{
+		exact(attr("ra", 0), attr("rb", 0)),
+		approx(attr("rb", 0), attr("rc", 0), 0.3),
+	})
+	cType := g.Types[attr("rc", 0)][0]
+	if !hasType(g, attr("ra", 0), cType) {
+		t.Errorf("a must inherit c's type via exact-then-approx path; got %v", g.Types[attr("ra", 0)])
+	}
+}
+
+func TestTypeGraphOpposingApproxKeepsLowerError(t *testing.T) {
+	s := db.NewSchema()
+	s.MustAdd("ra", "a")
+	s.MustAdd("rb", "b")
+	g := BuildTypeGraph(s, []ind.IND{
+		approx(attr("ra", 0), attr("rb", 0), 0.2),
+		approx(attr("rb", 0), attr("ra", 0), 0.4),
+	})
+	if len(g.Edges) != 1 {
+		t.Fatalf("edges = %v, want single lower-error direction", g.Edges)
+	}
+	e := g.Edges[0]
+	if e.From != attr("ra", 0) || e.Error != 0.2 {
+		t.Fatalf("kept edge = %v, want ra->rb at 0.2", e)
+	}
+}
+
+func TestTypeGraphOpposingExactKeptBoth(t *testing.T) {
+	s := db.NewSchema()
+	s.MustAdd("ra", "a")
+	s.MustAdd("rb", "b")
+	g := BuildTypeGraph(s, []ind.IND{
+		exact(attr("ra", 0), attr("rb", 0)),
+		exact(attr("rb", 0), attr("ra", 0)),
+	})
+	if len(g.Edges) != 2 {
+		t.Fatalf("both exact directions must be kept: %v", g.Edges)
+	}
+}
+
+func TestTypeGraphMixedExactApproxOpposing(t *testing.T) {
+	// Exact one way, approximate the other: exact (error 0) wins.
+	s := db.NewSchema()
+	s.MustAdd("ra", "a")
+	s.MustAdd("rb", "b")
+	g := BuildTypeGraph(s, []ind.IND{
+		exact(attr("ra", 0), attr("rb", 0)),
+		approx(attr("rb", 0), attr("ra", 0), 0.4),
+	})
+	if len(g.Edges) != 1 || g.Edges[0].Approx {
+		t.Fatalf("exact direction must win: %v", g.Edges)
+	}
+}
+
+func TestTypeGraphNoINDs(t *testing.T) {
+	s := figure1Schema()
+	g := BuildTypeGraph(s, nil)
+	seen := map[string]bool{}
+	for _, n := range g.Nodes {
+		types := g.Types[n]
+		if len(types) != 1 {
+			t.Fatalf("node %v types = %v, want exactly one fresh type", n, types)
+		}
+		if seen[types[0]] {
+			t.Fatalf("type %s reused across isolated nodes", types[0])
+		}
+		seen[types[0]] = true
+	}
+}
+
+func TestTypeGraphDeterminism(t *testing.T) {
+	a := BuildTypeGraph(figure1Schema(), figure1INDs())
+	b := BuildTypeGraph(figure1Schema(), figure1INDs())
+	for _, n := range a.Nodes {
+		ta, tb := a.Types[n], b.Types[n]
+		if len(ta) != len(tb) {
+			t.Fatalf("nondeterministic types for %v", n)
+		}
+		for i := range ta {
+			if ta[i] != tb[i] {
+				t.Fatalf("nondeterministic types for %v: %v vs %v", n, ta, tb)
+			}
+		}
+	}
+}
+
+func TestTypeGraphRender(t *testing.T) {
+	g := BuildTypeGraph(figure1Schema(), figure1INDs())
+	out := g.Render(figure1Schema(), "advisedBy", []string{"stud", "prof"})
+	for _, want := range []string{"student[stud]", "publication[author]", "-->", "(α=0.50)", "nodes:", "edges:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// End-to-end induction over a UW-like instance: the induced bias must
+// reproduce the paper's publication(T5,T1)/publication(T5,T3) pattern and
+// the inPhase constant mode.
+func TestInduceUW(t *testing.T) {
+	s := db.NewSchema()
+	s.MustAdd("student", "stud")
+	s.MustAdd("professor", "prof")
+	s.MustAdd("inPhase", "stud", "phase")
+	s.MustAdd("publication", "title", "person")
+	d := db.New(s)
+	students := []string{"s01", "s02", "s03", "s04", "s05", "s06", "s07", "s08", "s09", "s10", "s11", "s12"}
+	profs := []string{"p01", "p02", "p03", "p04", "p05", "p06", "p07", "p08", "p09", "p10", "p11", "p12"}
+	for i, st := range students {
+		d.MustInsert("student", st)
+		phase := "pre_quals"
+		if i%2 == 0 {
+			phase = "post_quals"
+		}
+		d.MustInsert("inPhase", st, phase)
+	}
+	for _, pr := range profs {
+		d.MustInsert("professor", pr)
+	}
+	// Only a third of students and professors publish, matching the real
+	// UW data where publication[person] ⊆ student ∪ professor holds only
+	// approximately in the publication→person-relation direction.
+	for i := 0; i < 4; i++ {
+		title := "t" + students[i]
+		d.MustInsert("publication", title, students[i])
+		d.MustInsert("publication", title, profs[i])
+	}
+	positives := []db.Tuple{{"s01", "p01"}, {"s02", "p02"}, {"s03", "p03"}}
+
+	res, err := Induce(d, "advisedBy", []string{"stud", "prof"}, positives, InduceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Bias
+	if err := b.Validate(s, "advisedBy", 2); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Compile(s, "advisedBy", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// publication[person] must carry both the student type and the
+	// professor type (two predicate definitions).
+	pubTypes := c.TypesOf("publication", 1)
+	if len(pubTypes) < 2 {
+		t.Fatalf("publication[person] types = %v; want the student and professor types", pubTypes)
+	}
+	// The target's first attribute must share a type with student[stud].
+	if !c.SharesType("advisedBy", 0, "student", 0) {
+		t.Errorf("advisedBy[0] must share student[stud]'s type; got %v vs %v",
+			c.TypesOf("advisedBy", 0), c.TypesOf("student", 0))
+	}
+	if !c.SharesType("advisedBy", 1, "professor", 0) {
+		t.Errorf("advisedBy[1] must share professor[prof]'s type")
+	}
+	// inPhase[phase] (2 distinct / 12 tuples ≈ 0.17 ≤ 0.18) must be
+	// constant-able.
+	if !c.CanBeConstant("inPhase", 1) {
+		t.Error("inPhase[phase] must be constant-able at the default threshold")
+	}
+	// Joins allowed between student[stud] and publication[person], the
+	// motivating example for approximate INDs.
+	if !c.SharesType("student", 0, "publication", 1) {
+		t.Error("student[stud] and publication[person] must be joinable")
+	}
+	// And forbidden between unrelated attributes.
+	if c.SharesType("inPhase", 1, "publication", 0) {
+		t.Error("inPhase[phase] and publication[title] must not be joinable")
+	}
+}
+
+func TestInduceRequiresPositives(t *testing.T) {
+	s := db.NewSchema()
+	s.MustAdd("r", "a")
+	d := db.New(s)
+	if _, err := Induce(d, "t", []string{"x"}, nil, InduceOptions{}); err == nil {
+		t.Fatal("induction without positives must fail")
+	}
+}
+
+func TestInduceExactOnlyMissesApproxJoin(t *testing.T) {
+	// Ablation behaviour: with ApproxError effectively disabled (tiny),
+	// publication[person] must NOT inherit the student type, so the
+	// co-authorship join is lost — the paper's motivation for approximate
+	// INDs.
+	s := db.NewSchema()
+	s.MustAdd("student", "stud")
+	s.MustAdd("professor", "prof")
+	s.MustAdd("publication", "title", "person")
+	d := db.New(s)
+	for i := 0; i < 6; i++ {
+		st := "s" + string(rune('0'+i))
+		pr := "p" + string(rune('0'+i))
+		d.MustInsert("student", st)
+		d.MustInsert("professor", pr)
+		if i < 2 { // only some publish: no exact IND in either direction
+			d.MustInsert("publication", "t"+st, st)
+			d.MustInsert("publication", "t"+st, pr)
+		}
+	}
+	positives := []db.Tuple{{"s0", "p0"}}
+	res, err := Induce(d, "advisedBy", []string{"stud", "prof"}, positives, InduceOptions{ApproxError: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := res.Bias.Compile(s, "advisedBy", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SharesType("student", 0, "publication", 1) {
+		t.Error("without approximate INDs the co-authorship join must be unavailable")
+	}
+}

@@ -1,0 +1,346 @@
+// Package bottom implements bottom-clause (BC) construction, the data
+// half of the paper's learner (§2.3.1, Algorithm 2), together with the
+// three sampling strategies of §4: naïve per-relation sampling, random
+// sampling over semi-joins (the extended-Olken scheme of §4.2), and
+// stratified sampling (§4.3, Algorithm 4).
+//
+// A bottom clause for an example e is the most specific clause covering e
+// relative to the database: its body holds one literal per database tuple
+// reachable from e's constants through joins permitted by the language
+// bias. Ground bottom clauses (constants kept) are used by coverage
+// testing (§5).
+package bottom
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bias"
+	"repro/internal/db"
+	"repro/internal/logic"
+)
+
+// Strategy selects how tuples are sampled during BC construction.
+type Strategy int
+
+const (
+	// Naive samples each relation's matching tuples uniformly and
+	// independently (§4.1).
+	Naive Strategy = iota
+	// Random samples along semi-join paths with Olken-style acceptance,
+	// weighting tuples by their join connectivity (§4.2).
+	Random
+	// Stratified samples every stratum (joinable relation, and distinct
+	// value of each constant-able attribute) to cover rare patterns
+	// (§4.3).
+	Stratified
+)
+
+// String names the strategy as in Table 6.
+func (s Strategy) String() string {
+	switch s {
+	case Naive:
+		return "Naive"
+	case Random:
+		return "Random"
+	case Stratified:
+		return "Stratified"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Options configures BC construction.
+type Options struct {
+	// Strategy is the sampling strategy; the zero value is Naive.
+	Strategy Strategy
+	// Depth is the number of iterations d of Algorithm 2 (the maximum
+	// join-path length from the example). <=0 defaults to 2.
+	Depth int
+	// SampleSize is s: the tuples kept per mode/lookup (naïve, random) or
+	// per stratum (stratified). <=0 defaults to 20, the paper's setting.
+	SampleSize int
+	// MaxLiterals caps the BC body size as a resource guard; <=0 defaults
+	// to 400 (the paper's BCs hold "hundreds of literals", §2.3.2).
+	MaxLiterals int
+	// Seed seeds the sampling RNG; 0 selects a fixed default.
+	Seed int64
+}
+
+func (o Options) normalized() Options {
+	if o.Depth <= 0 {
+		o.Depth = 2
+	}
+	if o.SampleSize <= 0 {
+		o.SampleSize = 20
+	}
+	if o.MaxLiterals <= 0 {
+		o.MaxLiterals = 400
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Builder constructs bottom clauses for examples of one target relation
+// over one database and compiled bias. A Builder is not safe for
+// concurrent use (it owns an RNG); create one per goroutine.
+type Builder struct {
+	db   *db.Database
+	bias *bias.Compiled
+	opts Options
+	rng  *rand.Rand
+}
+
+// NewBuilder returns a builder for the database and compiled bias.
+func NewBuilder(d *db.Database, c *bias.Compiled, opts Options) *Builder {
+	opts = opts.normalized()
+	return &Builder{db: d, bias: c, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// Options returns the builder's normalized options.
+func (b *Builder) Options() Options { return b.opts }
+
+// Construct builds the (variabilized) bottom clause for the example,
+// which must be a ground literal of the target relation.
+func (b *Builder) Construct(example logic.Literal) (*logic.Clause, error) {
+	return b.build(example, false)
+}
+
+// ConstructGround builds the ground bottom clause for the example, used
+// by θ-subsumption coverage testing (§5): the same reachable tuples, with
+// constants kept.
+func (b *Builder) ConstructGround(example logic.Literal) (*logic.Clause, error) {
+	return b.build(example, true)
+}
+
+func (b *Builder) build(example logic.Literal, ground bool) (*logic.Clause, error) {
+	if example.Predicate != b.bias.Target() {
+		return nil, fmt.Errorf("bottom: example %v is not of target relation %s", example, b.bias.Target())
+	}
+	if !example.IsGround() {
+		return nil, fmt.Errorf("bottom: example %v must be ground", example)
+	}
+	st := newState(b, ground)
+	st.seedHead(example)
+
+	var tuples []foundTuple
+	switch b.opts.Strategy {
+	case Naive:
+		tuples = b.naiveTuples(st, example)
+	case Random:
+		tuples = b.randomTuples(example)
+	case Stratified:
+		tuples = b.stratifiedTuples(example)
+	default:
+		return nil, fmt.Errorf("bottom: unknown strategy %v", b.opts.Strategy)
+	}
+	if b.opts.Strategy != Naive {
+		// Random and stratified collect tuples first (they traverse
+		// semi-join trees); literals are created afterwards in discovery
+		// order so shared constants variabilize consistently.
+		for _, ft := range tuples {
+			if st.full() {
+				break
+			}
+			st.addTuple(ft)
+		}
+	}
+	return st.clause(), nil
+}
+
+// foundTuple is a tuple discovered during construction, tagged with the
+// attribute through which it was reached (the + position of the modes
+// used to create its literals).
+type foundTuple struct {
+	rel     string
+	viaAttr int
+	tuple   db.Tuple
+}
+
+// state accumulates the clause under construction: the constant→variable
+// hash table of Algorithm 2, the body literals (deduplicated), and the
+// frontier of newly discovered constants.
+type state struct {
+	b      *Builder
+	ground bool
+
+	head logic.Literal
+	body []logic.Literal
+	seen map[string]bool // literal keys
+
+	varOf   map[string]string // constant -> variable name
+	nextVar int
+
+	// constTypes tracks the types each known constant was discovered
+	// under; frontier holds (constant, fresh types) pairs to process next
+	// iteration.
+	constTypes map[string]map[string]bool
+	frontier   []frontierEntry
+}
+
+type frontierEntry struct {
+	constant string
+	types    []string
+}
+
+func newState(b *Builder, ground bool) *state {
+	return &state{
+		b:          b,
+		ground:     ground,
+		seen:       make(map[string]bool),
+		varOf:      make(map[string]string),
+		constTypes: make(map[string]map[string]bool),
+	}
+}
+
+func (st *state) full() bool { return len(st.body) >= st.b.opts.MaxLiterals }
+
+// variable returns the variable mapped to the constant, creating one if
+// needed.
+func (st *state) variable(c string) string {
+	if v, ok := st.varOf[c]; ok {
+		return v
+	}
+	v := fmt.Sprintf("V%d", st.nextVar)
+	st.nextVar++
+	st.varOf[c] = v
+	return v
+}
+
+// noteConstant records that constant c carries the given types, queueing
+// any types new to c on the frontier.
+func (st *state) noteConstant(c string, types []string) {
+	known := st.constTypes[c]
+	if known == nil {
+		known = make(map[string]bool)
+		st.constTypes[c] = known
+	}
+	var fresh []string
+	for _, t := range types {
+		if !known[t] {
+			known[t] = true
+			fresh = append(fresh, t)
+		}
+	}
+	if len(fresh) > 0 {
+		st.frontier = append(st.frontier, frontierEntry{constant: c, types: fresh})
+	}
+}
+
+// takeFrontier returns and clears the pending frontier.
+func (st *state) takeFrontier() []frontierEntry {
+	f := st.frontier
+	st.frontier = nil
+	return f
+}
+
+// seedHead installs the head literal and seeds the frontier with the
+// example's constants under the target's attribute types.
+func (st *state) seedHead(example logic.Literal) {
+	terms := make([]logic.Term, len(example.Terms))
+	for i, t := range example.Terms {
+		if st.ground {
+			terms[i] = t
+		} else {
+			terms[i] = logic.Var(st.variable(t.Name))
+		}
+		st.noteConstant(t.Name, st.b.bias.TypesOf(st.b.bias.Target(), i))
+	}
+	st.head = logic.Literal{Predicate: example.Predicate, Terms: terms}
+}
+
+// addTuple converts a discovered tuple into one literal per applicable
+// mode (modes of the relation with + at the discovery attribute),
+// deduplicates, and queues the tuple's constants at variable positions.
+func (st *state) addTuple(ft foundTuple) {
+	for _, m := range st.b.bias.ModesFor(ft.rel) {
+		if m.Symbols[ft.viaAttr] != bias.Input {
+			continue
+		}
+		terms := make([]logic.Term, len(ft.tuple))
+		for i, v := range ft.tuple {
+			if m.Symbols[i] == bias.Constant {
+				terms[i] = logic.Const(v)
+				continue
+			}
+			// Variable position: in a ground BC the constant is kept, but
+			// it still joins the frontier so the traversal is identical.
+			if st.ground {
+				terms[i] = logic.Const(v)
+			} else {
+				terms[i] = logic.Var(st.variable(v))
+			}
+			st.noteConstant(v, st.b.bias.TypesOf(ft.rel, i))
+		}
+		l := logic.Literal{Predicate: ft.rel, Terms: terms}
+		key := l.Key()
+		if st.seen[key] {
+			continue
+		}
+		st.seen[key] = true
+		st.body = append(st.body, l)
+		if st.full() {
+			return
+		}
+	}
+}
+
+// clause assembles the final bottom clause.
+func (st *state) clause() *logic.Clause {
+	return &logic.Clause{Head: st.head, Body: st.body}
+}
+
+// naiveTuples runs Algorithm 2 with naïve per-lookup sampling, feeding
+// tuples into the state as it goes (so frontier constants drive the next
+// iteration).
+func (b *Builder) naiveTuples(st *state, example logic.Literal) []foundTuple {
+	for iter := 0; iter < b.opts.Depth && !st.full(); iter++ {
+		frontier := st.takeFrontier()
+		if len(frontier) == 0 {
+			break
+		}
+		for _, fe := range frontier {
+			if st.full() {
+				break
+			}
+			for _, ra := range b.bias.PlusTargets(fe.types) {
+				if st.full() {
+					break
+				}
+				rel := b.db.Relation(ra.Relation)
+				if rel == nil {
+					continue
+				}
+				matches := rel.Lookup(ra.Attr, fe.constant)
+				for _, t := range b.sampleUniform(matches) {
+					st.addTuple(foundTuple{rel: ra.Relation, viaAttr: ra.Attr, tuple: t})
+					if st.full() {
+						break
+					}
+				}
+			}
+		}
+	}
+	return nil // naive adds tuples directly to the state
+}
+
+// sampleUniform returns a uniform sample of at most SampleSize tuples.
+func (b *Builder) sampleUniform(tuples []db.Tuple) []db.Tuple {
+	s := b.opts.SampleSize
+	if len(tuples) <= s {
+		return tuples
+	}
+	// Partial Fisher-Yates over a copy of the index space.
+	idx := make([]int, len(tuples))
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]db.Tuple, s)
+	for i := 0; i < s; i++ {
+		j := i + b.rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out[i] = tuples[idx[i]]
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package db
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// WriteCSVDir writes one CSV file per relation into dir (created if
+// needed). Each file is named <relation>.csv with a header row of
+// attribute names. The inverse of LoadCSVDir.
+func (d *Database) WriteCSVDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("db: write csv dir: %w", err)
+	}
+	for _, name := range d.schema.Names() {
+		r := d.relations[name]
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return fmt.Errorf("db: write csv for %s: %w", name, err)
+		}
+		if err := writeRelationCSV(f, r); err != nil {
+			f.Close()
+			return fmt.Errorf("db: write csv for %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("db: close csv for %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func writeRelationCSV(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Schema.Attributes); err != nil {
+		return err
+	}
+	for _, t := range r.Tuples {
+		if err := cw.Write(t); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadCSVDir loads a database from a directory of <relation>.csv files,
+// each with a header row naming its attributes. The schema is inferred
+// from the files, in lexicographic file order for determinism.
+func LoadCSVDir(dir string) (*Database, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("db: load csv dir: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".csv") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("db: load csv dir %s: no .csv files", dir)
+	}
+	schema := NewSchema()
+	type loaded struct {
+		name string
+		rows [][]string
+	}
+	var all []loaded
+	for _, fn := range files {
+		name := strings.TrimSuffix(fn, ".csv")
+		f, err := os.Open(filepath.Join(dir, fn))
+		if err != nil {
+			return nil, fmt.Errorf("db: load %s: %w", fn, err)
+		}
+		rows, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("db: load %s: %w", fn, err)
+		}
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("db: load %s: missing header row", fn)
+		}
+		if err := schema.Add(name, rows[0]...); err != nil {
+			return nil, err
+		}
+		all = append(all, loaded{name: name, rows: rows[1:]})
+	}
+	d := New(schema)
+	for _, l := range all {
+		for _, row := range l.rows {
+			if err := d.Insert(l.name, row...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}

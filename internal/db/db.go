@@ -1,0 +1,328 @@
+// Package db implements the in-memory relational engine the learner runs
+// on. It stands in for VoltDB in the paper's stack: the learning
+// algorithms only need indexed selections (σ_{A∈M}(R)), projections,
+// right semi-joins and per-attribute statistics (distinct counts and
+// value frequencies for Olken-style sampling), all of which this engine
+// provides with per-attribute hash indexes.
+//
+// A Database is safe for concurrent reads once fully loaded; mutation
+// (Insert, AddRelation) is not synchronized and must happen-before reads.
+package db
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tuple is one row; values are untyped strings, matching the paper's
+// treatment of all attributes as symbolic constants.
+type Tuple []string
+
+// Equal reports whether two tuples have identical values.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RelationSchema names a relation and its attributes.
+type RelationSchema struct {
+	Name       string
+	Attributes []string
+}
+
+// Arity returns the number of attributes.
+func (rs *RelationSchema) Arity() int { return len(rs.Attributes) }
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (rs *RelationSchema) AttrIndex(name string) int {
+	for i, a := range rs.Attributes {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Schema is the set of relation schemas in a database.
+type Schema struct {
+	byName map[string]*RelationSchema
+	order  []string
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{byName: make(map[string]*RelationSchema)}
+}
+
+// Add registers a relation schema. It returns an error on duplicate
+// names or empty attribute lists.
+func (s *Schema) Add(name string, attributes ...string) error {
+	if _, ok := s.byName[name]; ok {
+		return fmt.Errorf("db: duplicate relation %q", name)
+	}
+	if len(attributes) == 0 {
+		return fmt.Errorf("db: relation %q has no attributes", name)
+	}
+	seen := make(map[string]bool, len(attributes))
+	for _, a := range attributes {
+		if seen[a] {
+			return fmt.Errorf("db: relation %q has duplicate attribute %q", name, a)
+		}
+		seen[a] = true
+	}
+	s.byName[name] = &RelationSchema{Name: name, Attributes: append([]string(nil), attributes...)}
+	s.order = append(s.order, name)
+	return nil
+}
+
+// MustAdd is Add that panics on error; for static schema tables.
+func (s *Schema) MustAdd(name string, attributes ...string) {
+	if err := s.Add(name, attributes...); err != nil {
+		panic(err)
+	}
+}
+
+// Relation returns the schema of the named relation, or nil.
+func (s *Schema) Relation(name string) *RelationSchema { return s.byName[name] }
+
+// Names returns relation names in registration order.
+func (s *Schema) Names() []string { return append([]string(nil), s.order...) }
+
+// Len returns the number of relations.
+func (s *Schema) Len() int { return len(s.order) }
+
+// Relation is a stored relation instance with lazily built per-attribute
+// hash indexes and sampling statistics.
+type Relation struct {
+	Schema *RelationSchema
+	Tuples []Tuple
+
+	// indexes[i] maps a value of attribute i to the positions of the
+	// tuples holding it. Built by buildIndex on first use.
+	indexes []map[string][]int
+	// maxFreq[i] is M_{R.B}: an upper bound (here: the exact maximum) on
+	// the frequency of any value in attribute i. Used by Olken sampling.
+	maxFreq []int
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Insert appends a tuple, validating arity. Inserting invalidates any
+// previously built index.
+func (r *Relation) Insert(t Tuple) error {
+	if len(t) != r.Schema.Arity() {
+		return fmt.Errorf("db: %s: tuple arity %d, want %d", r.Schema.Name, len(t), r.Schema.Arity())
+	}
+	r.Tuples = append(r.Tuples, t)
+	r.indexes = nil
+	r.maxFreq = nil
+	return nil
+}
+
+// buildIndex materializes the hash index for attribute i.
+func (r *Relation) buildIndex(i int) map[string][]int {
+	if r.indexes == nil {
+		r.indexes = make([]map[string][]int, r.Schema.Arity())
+		r.maxFreq = make([]int, r.Schema.Arity())
+	}
+	if r.indexes[i] != nil {
+		return r.indexes[i]
+	}
+	idx := make(map[string][]int)
+	for pos, t := range r.Tuples {
+		idx[t[i]] = append(idx[t[i]], pos)
+	}
+	max := 0
+	for _, ps := range idx {
+		if len(ps) > max {
+			max = len(ps)
+		}
+	}
+	r.indexes[i] = idx
+	r.maxFreq[i] = max
+	return idx
+}
+
+// BuildIndexes eagerly builds every attribute index. Call once after
+// loading so later concurrent readers never race on lazy construction.
+func (r *Relation) BuildIndexes() {
+	for i := 0; i < r.Schema.Arity(); i++ {
+		r.buildIndex(i)
+	}
+}
+
+// Lookup returns the tuples whose attribute attr equals value.
+func (r *Relation) Lookup(attr int, value string) []Tuple {
+	idx := r.buildIndex(attr)
+	positions := idx[value]
+	if len(positions) == 0 {
+		return nil
+	}
+	out := make([]Tuple, len(positions))
+	for i, p := range positions {
+		out[i] = r.Tuples[p]
+	}
+	return out
+}
+
+// Frequency returns m_{R.attr}(value): how many tuples hold value in
+// attribute attr.
+func (r *Relation) Frequency(attr int, value string) int {
+	return len(r.buildIndex(attr)[value])
+}
+
+// MaxFrequency returns M_{R.attr}: the maximum frequency of any value in
+// attribute attr (0 for an empty relation).
+func (r *Relation) MaxFrequency(attr int) int {
+	r.buildIndex(attr)
+	return r.maxFreq[attr]
+}
+
+// DistinctCount returns the number of distinct values in attribute attr.
+func (r *Relation) DistinctCount(attr int) int {
+	return len(r.buildIndex(attr))
+}
+
+// DistinctValues returns the distinct values of attribute attr in sorted
+// order (sorted for determinism).
+func (r *Relation) DistinctValues(attr int) []string {
+	idx := r.buildIndex(attr)
+	out := make([]string, 0, len(idx))
+	for v := range idx {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Contains reports whether value appears in attribute attr.
+func (r *Relation) Contains(attr int, value string) bool {
+	return len(r.buildIndex(attr)[value]) > 0
+}
+
+// SelectIn returns σ_{attr ∈ values}(R): every tuple whose attribute attr
+// takes a value in the given set. This is the selection primitive used by
+// bottom-clause construction (paper Algorithm 2, line 7).
+func (r *Relation) SelectIn(attr int, values map[string]bool) []Tuple {
+	idx := r.buildIndex(attr)
+	var out []Tuple
+	// Iterate the smaller side for efficiency on large relations.
+	if len(values) <= len(idx) {
+		keys := make([]string, 0, len(values))
+		for v := range values {
+			keys = append(keys, v)
+		}
+		sort.Strings(keys) // deterministic output order
+		for _, v := range keys {
+			for _, p := range idx[v] {
+				out = append(out, r.Tuples[p])
+			}
+		}
+		return out
+	}
+	for _, t := range r.Tuples {
+		if values[t[attr]] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SemiJoinValues computes the right semi-join primitive used in §4.2:
+// given the set of values present on the left side's join attribute, it
+// returns the tuples of r whose attribute attr matches one of them. It is
+// equivalent to SelectIn and exists to name the operation the paper uses.
+func (r *Relation) SemiJoinValues(attr int, leftValues map[string]bool) []Tuple {
+	return r.SelectIn(attr, leftValues)
+}
+
+// Database is a collection of relation instances over a schema.
+type Database struct {
+	schema    *Schema
+	relations map[string]*Relation
+}
+
+// New creates a database with empty instances for every relation in the
+// schema.
+func New(schema *Schema) *Database {
+	d := &Database{schema: schema, relations: make(map[string]*Relation, schema.Len())}
+	for _, name := range schema.Names() {
+		d.relations[name] = &Relation{Schema: schema.Relation(name)}
+	}
+	return d
+}
+
+// Schema returns the database schema.
+func (d *Database) Schema() *Schema { return d.schema }
+
+// Relation returns the named relation instance, or nil.
+func (d *Database) Relation(name string) *Relation { return d.relations[name] }
+
+// Insert adds a tuple to the named relation.
+func (d *Database) Insert(relation string, values ...string) error {
+	r := d.relations[relation]
+	if r == nil {
+		return fmt.Errorf("db: unknown relation %q", relation)
+	}
+	return r.Insert(Tuple(values))
+}
+
+// MustInsert is Insert that panics on error; for tests and generators.
+func (d *Database) MustInsert(relation string, values ...string) {
+	if err := d.Insert(relation, values...); err != nil {
+		panic(err)
+	}
+}
+
+// TotalTuples returns the number of tuples across all relations.
+func (d *Database) TotalTuples() int {
+	n := 0
+	for _, r := range d.relations {
+		n += r.Len()
+	}
+	return n
+}
+
+// BuildIndexes eagerly indexes every relation.
+func (d *Database) BuildIndexes() {
+	for _, name := range d.schema.Names() {
+		d.relations[name].BuildIndexes()
+	}
+}
+
+// Extend returns a new database view that shares every relation instance
+// of d (no tuple copying) and adds one extra relation with the given
+// tuples. It is used to treat the training examples of the target
+// relation as a pseudo-relation during IND discovery and bias induction.
+func Extend(d *Database, name string, attributes []string, tuples []Tuple) (*Database, error) {
+	schema := NewSchema()
+	for _, n := range d.schema.Names() {
+		rs := d.schema.Relation(n)
+		if err := schema.Add(n, rs.Attributes...); err != nil {
+			return nil, err
+		}
+	}
+	if err := schema.Add(name, attributes...); err != nil {
+		return nil, err
+	}
+	ext := &Database{schema: schema, relations: make(map[string]*Relation, schema.Len())}
+	for _, n := range d.schema.Names() {
+		ext.relations[n] = d.relations[n]
+	}
+	extra := &Relation{Schema: schema.Relation(name)}
+	for _, t := range tuples {
+		if err := extra.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	ext.relations[name] = extra
+	return ext, nil
+}

@@ -1,0 +1,93 @@
+package db
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestExtendSharesRelations(t *testing.T) {
+	d := uwFragment(t)
+	examples := []Tuple{{"juan", "sarita"}, {"john", "mary"}}
+	ext, err := Extend(d, "advisedBy", []string{"stud", "prof"}, examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The base relations are shared, not copied.
+	if ext.Relation("student") != d.Relation("student") {
+		t.Error("Extend must share base relation instances")
+	}
+	// The extra relation holds the tuples.
+	adv := ext.Relation("advisedBy")
+	if adv == nil || adv.Len() != 2 {
+		t.Fatalf("advisedBy = %v", adv)
+	}
+	if !adv.Tuples[0].Equal(Tuple{"juan", "sarita"}) {
+		t.Fatalf("tuple 0 = %v", adv.Tuples[0])
+	}
+	// The original database is untouched.
+	if d.Relation("advisedBy") != nil {
+		t.Error("Extend must not mutate the original database")
+	}
+	if got := ext.Schema().Len(); got != d.Schema().Len()+1 {
+		t.Fatalf("extended schema has %d relations", got)
+	}
+}
+
+func TestExtendErrors(t *testing.T) {
+	d := uwFragment(t)
+	if _, err := Extend(d, "student", []string{"x"}, nil); err == nil {
+		t.Error("duplicate relation name must fail")
+	}
+	if _, err := Extend(d, "t", []string{"a", "b"}, []Tuple{{"only-one"}}); err == nil {
+		t.Error("arity-mismatched tuple must fail")
+	}
+}
+
+func TestBuildIndexesEager(t *testing.T) {
+	d := uwFragment(t)
+	d.BuildIndexes()
+	// After eager indexing, lookups work (and concurrent readers would
+	// not race on lazy construction).
+	if got := d.Relation("publication").Lookup(1, "juan"); len(got) != 1 {
+		t.Fatalf("Lookup after BuildIndexes = %v", got)
+	}
+}
+
+func TestSemiJoinValuesNamesSelectIn(t *testing.T) {
+	d := uwFragment(t)
+	pub := d.Relation("publication")
+	set := map[string]bool{"juan": true, "mary": true}
+	a := pub.SemiJoinValues(1, set)
+	b := pub.SelectIn(1, set)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("SemiJoinValues must equal SelectIn")
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAdd must panic on duplicate")
+		}
+	}()
+	s := NewSchema()
+	s.MustAdd("r", "a")
+	s.MustAdd("r", "a")
+}
+
+func TestMustInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustInsert must panic on unknown relation")
+		}
+	}()
+	d := New(NewSchema())
+	d.MustInsert("nosuch", "x")
+}
+
+func TestWriteCSVDirErrorOnBadPath(t *testing.T) {
+	d := uwFragment(t)
+	if err := d.WriteCSVDir("/dev/null/not-a-dir"); err == nil {
+		t.Fatal("unwritable path must fail")
+	}
+}

@@ -1,0 +1,165 @@
+// Package eval implements the paper's evaluation methodology (§6.1):
+// precision, recall and F-measure of a learned Horn definition over
+// held-out examples, and stratified k-fold cross validation.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/logic"
+)
+
+// Metrics are the quality measures of §6.1. Precision is TP over all
+// covered examples, recall is TP over all test positives, and F1 their
+// harmonic mean.
+type Metrics struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	TP        int
+	FP        int
+	FN        int
+}
+
+// Compute derives the metrics from raw counts. An empty definition
+// (tp+fp = 0) has precision 0 by convention.
+func Compute(tp, fp, fn int) Metrics {
+	m := Metrics{TP: tp, FP: fp, FN: fn}
+	if tp+fp > 0 {
+		m.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		m.Recall = float64(tp) / float64(tp+fn)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// CoverFunc answers whether a definition covers an example.
+type CoverFunc func(*logic.Definition, logic.Literal) (bool, error)
+
+// Evaluate scores a definition against held-out positives and negatives.
+func Evaluate(covers CoverFunc, def *logic.Definition, testPos, testNeg []logic.Literal) (Metrics, error) {
+	tp, fp := 0, 0
+	for _, e := range testPos {
+		ok, err := covers(def, e)
+		if err != nil {
+			return Metrics{}, err
+		}
+		if ok {
+			tp++
+		}
+	}
+	for _, e := range testNeg {
+		ok, err := covers(def, e)
+		if err != nil {
+			return Metrics{}, err
+		}
+		if ok {
+			fp++
+		}
+	}
+	return Compute(tp, fp, len(testPos)-tp), nil
+}
+
+// Fold is one train/test split.
+type Fold struct {
+	TrainPos, TrainNeg []logic.Literal
+	TestPos, TestNeg   []logic.Literal
+}
+
+// KFold builds k stratified folds: positives and negatives are shuffled
+// independently (preserving their ratio per fold) and partitioned.
+func KFold(pos, neg []logic.Literal, k int, seed int64) ([]Fold, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("eval: k must be at least 2, got %d", k)
+	}
+	if len(pos) < k {
+		return nil, fmt.Errorf("eval: %d positives cannot fill %d folds", len(pos), k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := append([]logic.Literal(nil), pos...)
+	n := append([]logic.Literal(nil), neg...)
+	rng.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	rng.Shuffle(len(n), func(i, j int) { n[i], n[j] = n[j], n[i] })
+
+	folds := make([]Fold, k)
+	for f := 0; f < k; f++ {
+		testP := slice(p, f, k)
+		testN := slice(n, f, k)
+		fold := Fold{TestPos: testP, TestNeg: testN}
+		for g := 0; g < k; g++ {
+			if g == f {
+				continue
+			}
+			fold.TrainPos = append(fold.TrainPos, slice(p, g, k)...)
+			fold.TrainNeg = append(fold.TrainNeg, slice(n, g, k)...)
+		}
+		folds[f] = fold
+	}
+	return folds, nil
+}
+
+// slice returns the f-th of k contiguous chunks.
+func slice(xs []logic.Literal, f, k int) []logic.Literal {
+	lo := f * len(xs) / k
+	hi := (f + 1) * len(xs) / k
+	return xs[lo:hi]
+}
+
+// FoldOutcome is the result of learning and scoring one fold.
+type FoldOutcome struct {
+	Metrics  Metrics
+	Elapsed  time.Duration
+	TimedOut bool
+	Clauses  int
+}
+
+// CVResult aggregates fold outcomes, reporting means as the paper does.
+type CVResult struct {
+	Folds []FoldOutcome
+	// Mean metrics across folds.
+	Precision, Recall, F1 float64
+	MeanTime              time.Duration
+	// TimedOut is set when any fold hit its budget (the paper reports
+	// these runs as ">10h" or "-").
+	TimedOut bool
+}
+
+// Trainer learns a definition from one fold's training data and returns
+// it with a cover function for scoring and run metadata.
+type Trainer func(fold Fold) (*logic.Definition, CoverFunc, FoldOutcome, error)
+
+// CrossValidate runs the trainer over every fold and averages.
+func CrossValidate(folds []Fold, train Trainer) (CVResult, error) {
+	var res CVResult
+	for _, fold := range folds {
+		def, covers, outcome, err := train(fold)
+		if err != nil {
+			return CVResult{}, err
+		}
+		m, err := Evaluate(covers, def, fold.TestPos, fold.TestNeg)
+		if err != nil {
+			return CVResult{}, err
+		}
+		outcome.Metrics = m
+		res.Folds = append(res.Folds, outcome)
+		res.Precision += m.Precision
+		res.Recall += m.Recall
+		res.F1 += m.F1
+		res.MeanTime += outcome.Elapsed
+		res.TimedOut = res.TimedOut || outcome.TimedOut
+	}
+	k := float64(len(folds))
+	if k > 0 {
+		res.Precision /= k
+		res.Recall /= k
+		res.F1 /= k
+		res.MeanTime = time.Duration(float64(res.MeanTime) / k)
+	}
+	return res, nil
+}

@@ -1,0 +1,100 @@
+package foil
+
+import (
+	"testing"
+
+	"repro/internal/bottom"
+	"repro/internal/learn"
+	"repro/internal/logic"
+)
+
+func TestFOILStatsPopulated(t *testing.T) {
+	d, c, pos, neg := parentWorld(t)
+	l := New(d, c, Options{Bottom: bottom.Options{Depth: 2}})
+	_, stats, err := l.Learn(pos, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CandidatesSeen == 0 || stats.Elapsed <= 0 {
+		t.Fatalf("stats not populated: %+v", stats)
+	}
+}
+
+func TestFOILOptionsNormalization(t *testing.T) {
+	o := Options{}.normalized()
+	if o.MaxClauseLen != 5 || o.MaxCandidates != 300 || o.MaxConstants != 10 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	if o.EvalSampleCap != 150 || o.MinPrecision != 0.7 || o.Seed != 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	if o.Subsume.MaxNodes != 5000 {
+		t.Fatalf("subsume default = %+v", o.Subsume)
+	}
+}
+
+func TestFOILEmptyPositives(t *testing.T) {
+	d, c, _, neg := parentWorld(t)
+	l := New(d, c, Options{})
+	def, stats, err := l.Learn(nil, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Len() != 0 || stats.Clauses != 0 {
+		t.Fatal("no positives must learn nothing")
+	}
+}
+
+func TestFOILMinPrecisionRejects(t *testing.T) {
+	// Contradictory labels: same structure positive and negative. With
+	// MinPrecision 1.0 nothing can be kept.
+	d, c, pos, _ := parentWorld(t)
+	neg := append([]learn.Example(nil), pos...) // identical examples as negatives
+	l := New(d, c, Options{Bottom: bottom.Options{Depth: 2}, MinPrecision: 1.0})
+	def, _, err := l.Learn(pos, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Len() != 0 {
+		t.Fatalf("contradictory data must yield no clauses:\n%s", def)
+	}
+}
+
+func TestVarNameAndItoa(t *testing.T) {
+	if varName(0) != "V0" || varName(12) != "V12" {
+		t.Fatalf("varName: %s %s", varName(0), varName(12))
+	}
+	if itoa(0) != "0" || itoa(907) != "907" {
+		t.Fatalf("itoa: %s %s", itoa(0), itoa(907))
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := map[string]bool{"x": true, "y": true}
+	b := map[string]bool{"y": true}
+	c := map[string]bool{"z": true}
+	if !intersects(a, b) || intersects(a, c) || intersects(nil, a) {
+		t.Fatal("intersects")
+	}
+}
+
+func TestHeadLiteralTypes(t *testing.T) {
+	d, c, _, _ := parentWorld(t)
+	l := New(d, c, Options{})
+	head, varTypes, next := l.headLiteral()
+	if head.Predicate != "grandparent" || len(head.Terms) != 2 {
+		t.Fatalf("head = %v", head)
+	}
+	if next != 2 {
+		t.Fatalf("next = %d", next)
+	}
+	for _, tm := range head.Terms {
+		if !tm.IsVar() {
+			t.Fatalf("head term %v must be a variable", tm)
+		}
+		if len(varTypes[tm.Name]) == 0 {
+			t.Fatalf("head variable %s untyped", tm.Name)
+		}
+	}
+	_ = logic.Literal{}
+}

@@ -1,0 +1,212 @@
+// Package ind discovers unary inclusion dependencies (INDs) from database
+// content. It reimplements the divide-and-conquer strategy of Binder
+// (Papenbrock et al., PVLDB 2015) that the paper uses for its
+// preprocessing step (§3.1): generate all unary candidate INDs, partition
+// the distinct values of every attribute into hash buckets small enough
+// for memory, then validate every candidate bucket by bucket. An exact
+// IND R[A] ⊆ S[B] must pass every bucket; an approximate IND
+// (R[A] ⊆ S[B], α) may lose up to an α fraction of R[A]'s distinct
+// values across all buckets.
+package ind
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/db"
+)
+
+// AttrID identifies an attribute by relation name and position.
+type AttrID struct {
+	Relation string
+	Attr     int
+}
+
+// String renders as relation[attrName] when the schema is not at hand.
+func (a AttrID) String() string { return fmt.Sprintf("%s[%d]", a.Relation, a.Attr) }
+
+// IND is a unary inclusion dependency From ⊆ To with an error rate: the
+// fraction of distinct values in From that must be removed for the
+// dependency to hold exactly (paper §3.1). Error 0 means exact.
+type IND struct {
+	From  AttrID
+	To    AttrID
+	Error float64
+}
+
+// IsExact reports whether the IND holds with no error.
+func (i IND) IsExact() bool { return i.Error == 0 }
+
+func (i IND) String() string {
+	if i.IsExact() {
+		return fmt.Sprintf("%v ⊆ %v", i.From, i.To)
+	}
+	return fmt.Sprintf("(%v ⊆ %v, %.2f)", i.From, i.To, i.Error)
+}
+
+// Options configures discovery.
+type Options struct {
+	// MaxError is the highest approximate-IND error rate to keep.
+	// 0 keeps only exact INDs. The paper uses 0.5 (§3.1).
+	MaxError float64
+	// Buckets is the number of hash partitions Binder validates
+	// independently; <=0 selects a default of 16.
+	Buckets int
+	// MinDistinct skips attributes with fewer distinct values than this
+	// as IND left-hand sides; <=0 means 1 (skip only empty attributes).
+	MinDistinct int
+}
+
+func (o *Options) normalize() {
+	if o.Buckets <= 0 {
+		o.Buckets = 16
+	}
+	if o.MinDistinct <= 0 {
+		o.MinDistinct = 1
+	}
+	if o.MaxError < 0 {
+		o.MaxError = 0
+	}
+}
+
+// Discover returns every unary IND with error ≤ opts.MaxError between
+// distinct attributes of the database, sorted deterministically
+// (ascending error, then lexicographic endpoints). Self-INDs
+// (an attribute with itself) are omitted; INDs between different
+// attributes of the same relation are kept, as the paper's UW example
+// (ta[stud] ⊆ student[stud]) requires cross- and intra-relation edges.
+func Discover(d *db.Database, opts Options) []IND {
+	opts.normalize()
+
+	attrs, distinct := collectAttributes(d, opts.MinDistinct)
+	n := len(attrs)
+	if n == 0 {
+		return nil
+	}
+
+	// missing[a][b] counts distinct values of attribute a absent from b.
+	missing := make([][]int, n)
+	for i := range missing {
+		missing[i] = make([]int, n)
+	}
+
+	// Divide: assign each distinct (value) to a bucket; conquer: validate
+	// within each bucket independently. Only the current bucket's
+	// value→attribute-set map is held in memory at a time, mirroring
+	// Binder's main-memory partitioning.
+	for bucket := 0; bucket < opts.Buckets; bucket++ {
+		valueAttrs := make(map[string][]int)
+		for ai, id := range attrs {
+			rel := d.Relation(id.Relation)
+			for _, v := range rel.DistinctValues(id.Attr) {
+				if bucketOf(v, opts.Buckets) != bucket {
+					continue
+				}
+				valueAttrs[v] = append(valueAttrs[v], ai)
+			}
+		}
+		for _, present := range valueAttrs {
+			isPresent := make(map[int]bool, len(present))
+			for _, a := range present {
+				isPresent[a] = true
+			}
+			for _, a := range present {
+				row := missing[a]
+				for b := 0; b < n; b++ {
+					if !isPresent[b] {
+						row[b]++
+					}
+				}
+			}
+		}
+	}
+
+	var out []IND
+	for a := 0; a < n; a++ {
+		if distinct[a] == 0 {
+			continue
+		}
+		for b := 0; b < n; b++ {
+			if a == b || attrs[a] == attrs[b] {
+				continue
+			}
+			errRate := float64(missing[a][b]) / float64(distinct[a])
+			if errRate <= opts.MaxError {
+				out = append(out, IND{From: attrs[a], To: attrs[b], Error: errRate})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Error != b.Error {
+			return a.Error < b.Error
+		}
+		if a.From != b.From {
+			return lessAttr(a.From, b.From)
+		}
+		return lessAttr(a.To, b.To)
+	})
+	return out
+}
+
+// Exact returns only the exact INDs of the database; a convenience for
+// callers that do not want approximate dependencies.
+func Exact(d *db.Database) []IND {
+	return Discover(d, Options{MaxError: 0})
+}
+
+// Holds validates a single unary IND candidate directly (without the
+// bucketed pass) and returns its exact error rate. It exists for tests
+// and for callers that need to re-check one dependency cheaply.
+func Holds(d *db.Database, from, to AttrID) (float64, error) {
+	fr := d.Relation(from.Relation)
+	tr := d.Relation(to.Relation)
+	if fr == nil || tr == nil {
+		return 0, fmt.Errorf("ind: unknown relation in %v ⊆ %v", from, to)
+	}
+	if from.Attr >= fr.Schema.Arity() || to.Attr >= tr.Schema.Arity() {
+		return 0, fmt.Errorf("ind: attribute out of range in %v ⊆ %v", from, to)
+	}
+	values := fr.DistinctValues(from.Attr)
+	if len(values) == 0 {
+		return 0, fmt.Errorf("ind: empty left-hand side %v", from)
+	}
+	miss := 0
+	for _, v := range values {
+		if !tr.Contains(to.Attr, v) {
+			miss++
+		}
+	}
+	return float64(miss) / float64(len(values)), nil
+}
+
+func collectAttributes(d *db.Database, minDistinct int) ([]AttrID, []int) {
+	var attrs []AttrID
+	var distinct []int
+	for _, name := range d.Schema().Names() {
+		rel := d.Relation(name)
+		for i := 0; i < rel.Schema.Arity(); i++ {
+			n := rel.DistinctCount(i)
+			if n < minDistinct {
+				continue
+			}
+			attrs = append(attrs, AttrID{Relation: name, Attr: i})
+			distinct = append(distinct, n)
+		}
+	}
+	return attrs, distinct
+}
+
+func bucketOf(v string, buckets int) int {
+	h := fnv.New32a()
+	h.Write([]byte(v))
+	return int(h.Sum32() % uint32(buckets))
+}
+
+func lessAttr(a, b AttrID) bool {
+	if a.Relation != b.Relation {
+		return a.Relation < b.Relation
+	}
+	return a.Attr < b.Attr
+}

@@ -1,0 +1,245 @@
+package ind
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+)
+
+// uwLike builds the UW fragment from the paper's running example:
+// publication[person] contains both student and professor names, so the
+// exact INDs student[stud] ⊆ publication[person] fail in one direction
+// but the approximate INDs publication[person] ⊆ student[stud] hold at
+// error 0.5.
+func uwLike(t testing.TB) *db.Database {
+	t.Helper()
+	s := db.NewSchema()
+	s.MustAdd("student", "stud")
+	s.MustAdd("professor", "prof")
+	s.MustAdd("inPhase", "stud", "phase")
+	s.MustAdd("publication", "title", "person")
+	d := db.New(s)
+	for _, st := range []string{"juan", "john", "carlos", "diego"} {
+		d.MustInsert("student", st)
+		d.MustInsert("inPhase", st, "post_quals")
+	}
+	for _, pr := range []string{"sarita", "mary", "alan", "arash"} {
+		d.MustInsert("professor", pr)
+	}
+	d.MustInsert("publication", "p1", "juan")
+	d.MustInsert("publication", "p1", "sarita")
+	d.MustInsert("publication", "p2", "john")
+	d.MustInsert("publication", "p2", "mary")
+	d.MustInsert("publication", "p3", "carlos")
+	d.MustInsert("publication", "p3", "alan")
+	d.MustInsert("publication", "p4", "diego")
+	d.MustInsert("publication", "p4", "arash")
+	return d
+}
+
+func findIND(inds []IND, from, to AttrID) (IND, bool) {
+	for _, i := range inds {
+		if i.From == from && i.To == to {
+			return i, true
+		}
+	}
+	return IND{}, false
+}
+
+func TestExactINDs(t *testing.T) {
+	d := uwLike(t)
+	inds := Exact(d)
+	// inPhase[stud] ⊆ student[stud] must hold exactly.
+	got, ok := findIND(inds, AttrID{"inPhase", 0}, AttrID{"student", 0})
+	if !ok || !got.IsExact() {
+		t.Fatalf("expected exact IND inPhase[0] ⊆ student[0]; got %v (found=%v)", got, ok)
+	}
+	// student[stud] ⊆ publication[person] must hold exactly (every student
+	// published here).
+	if _, ok := findIND(inds, AttrID{"student", 0}, AttrID{"publication", 1}); !ok {
+		t.Error("expected exact IND student[0] ⊆ publication[1]")
+	}
+	// publication[person] ⊄ student[stud]: professors are not students.
+	if _, ok := findIND(inds, AttrID{"publication", 1}, AttrID{"student", 0}); ok {
+		t.Error("publication[person] ⊆ student[stud] must NOT be exact")
+	}
+}
+
+func TestApproximateINDs(t *testing.T) {
+	d := uwLike(t)
+	inds := Discover(d, Options{MaxError: 0.5})
+	// Half of publication[person] values are students: error exactly 0.5.
+	got, ok := findIND(inds, AttrID{"publication", 1}, AttrID{"student", 0})
+	if !ok {
+		t.Fatal("expected approximate IND publication[person] ⊆ student[stud] at α=0.5")
+	}
+	if got.Error != 0.5 {
+		t.Fatalf("error = %v, want 0.5", got.Error)
+	}
+	// ... and the other half are professors.
+	got, ok = findIND(inds, AttrID{"publication", 1}, AttrID{"professor", 0})
+	if !ok || got.Error != 0.5 {
+		t.Fatalf("expected publication[person] ⊆ professor[prof] at 0.5, got %v (found=%v)", got, ok)
+	}
+	// Stricter threshold must exclude them.
+	strict := Discover(d, Options{MaxError: 0.4})
+	if _, ok := findIND(strict, AttrID{"publication", 1}, AttrID{"student", 0}); ok {
+		t.Error("α=0.4 must exclude an IND with error 0.5")
+	}
+}
+
+func TestNoSelfOrDisjointINDs(t *testing.T) {
+	d := uwLike(t)
+	inds := Discover(d, Options{MaxError: 1.0})
+	for _, i := range inds {
+		if i.From == i.To {
+			t.Fatalf("self IND returned: %v", i)
+		}
+	}
+	// Disjoint domains appear only at error 1.0; at 0.99 they must vanish.
+	inds = Discover(d, Options{MaxError: 0.99})
+	if _, ok := findIND(inds, AttrID{"student", 0}, AttrID{"publication", 0}); ok {
+		t.Error("student names must not be included in publication titles")
+	}
+}
+
+func TestHoldsAgreesWithDiscover(t *testing.T) {
+	d := uwLike(t)
+	inds := Discover(d, Options{MaxError: 1.0})
+	for _, i := range inds {
+		got, err := Holds(d, i.From, i.To)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != i.Error {
+			t.Fatalf("Holds(%v)=%v, Discover said %v", i, got, i.Error)
+		}
+	}
+}
+
+func TestHoldsErrors(t *testing.T) {
+	d := uwLike(t)
+	if _, err := Holds(d, AttrID{"nosuch", 0}, AttrID{"student", 0}); err == nil {
+		t.Error("unknown relation must error")
+	}
+	if _, err := Holds(d, AttrID{"student", 5}, AttrID{"student", 0}); err == nil {
+		t.Error("attribute out of range must error")
+	}
+}
+
+func TestBucketCountInvariance(t *testing.T) {
+	d := uwLike(t)
+	base := Discover(d, Options{MaxError: 0.5, Buckets: 1})
+	for _, buckets := range []int{2, 7, 16, 64} {
+		got := Discover(d, Options{MaxError: 0.5, Buckets: buckets})
+		if len(got) != len(base) {
+			t.Fatalf("buckets=%d: %d INDs, want %d", buckets, len(got), len(base))
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("buckets=%d: IND %d = %v, want %v", buckets, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestMinDistinctSkipsSparseAttributes(t *testing.T) {
+	d := uwLike(t)
+	inds := Discover(d, Options{MaxError: 1.0, MinDistinct: 2})
+	for _, i := range inds {
+		if i.From == (AttrID{"inPhase", 1}) {
+			t.Fatalf("inPhase[phase] has 1 distinct value; must be skipped: %v", i)
+		}
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	d := uwLike(t)
+	a := Discover(d, Options{MaxError: 0.5})
+	b := Discover(d, Options{MaxError: 0.5})
+	if len(a) != len(b) {
+		t.Fatal("length differs across runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	s := db.NewSchema()
+	s.MustAdd("r", "a")
+	d := db.New(s)
+	if got := Discover(d, Options{MaxError: 1.0}); got != nil {
+		t.Fatalf("empty database must produce no INDs, got %v", got)
+	}
+}
+
+// Property: on randomly generated databases, Discover must agree with the
+// brute-force Holds check for every reported IND, and must report every
+// pair whose brute-force error is within the threshold.
+func TestPropDiscoverCompleteAndSound(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		s := db.NewSchema()
+		s.MustAdd("r1", "a", "b")
+		s.MustAdd("r2", "c")
+		s.MustAdd("r3", "d", "e")
+		d := db.New(s)
+		vals := []string{"x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7"}
+		pick := func() string { return vals[r.Intn(len(vals))] }
+		for i, n := 0, 5+r.Intn(20); i < n; i++ {
+			d.MustInsert("r1", pick(), pick())
+		}
+		for i, n := 0, 1+r.Intn(10); i < n; i++ {
+			d.MustInsert("r2", pick())
+		}
+		for i, n := 0, 1+r.Intn(10); i < n; i++ {
+			d.MustInsert("r3", pick(), pick())
+		}
+		maxErr := float64(r.Intn(11)) / 10
+		got := Discover(d, Options{MaxError: maxErr, Buckets: 1 + r.Intn(8)})
+		seen := make(map[[2]AttrID]float64)
+		for _, i := range got {
+			brute, err := Holds(d, i.From, i.To)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if brute != i.Error {
+				t.Fatalf("sound: %v reported %v, brute force %v", i, i.Error, brute)
+			}
+			if i.Error > maxErr {
+				t.Fatalf("sound: %v exceeds threshold %v", i, maxErr)
+			}
+			seen[[2]AttrID{i.From, i.To}] = i.Error
+		}
+		// Completeness over all attribute pairs.
+		var ids []AttrID
+		for _, name := range d.Schema().Names() {
+			rel := d.Relation(name)
+			for a := 0; a < rel.Schema.Arity(); a++ {
+				if rel.DistinctCount(a) > 0 {
+					ids = append(ids, AttrID{name, a})
+				}
+			}
+		}
+		for _, from := range ids {
+			for _, to := range ids {
+				if from == to {
+					continue
+				}
+				brute, err := Holds(d, from, to)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if brute <= maxErr {
+					if _, ok := seen[[2]AttrID{from, to}]; !ok {
+						t.Fatalf("complete: missing IND %v ⊆ %v (error %v ≤ %v)", from, to, brute, maxErr)
+					}
+				}
+			}
+		}
+	}
+}

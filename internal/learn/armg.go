@@ -1,0 +1,60 @@
+package learn
+
+import (
+	"repro/internal/logic"
+	"repro/internal/subsume"
+)
+
+// ARMG applies the asymmetric relative minimal generalization operator
+// (§2.3.2): given clause c (initially a bottom clause) and the ground
+// bottom clause of another positive example, it drops blocking atoms —
+// body literals whose addition first breaks coverage of the example —
+// until the clause covers the example, then drops literals that are no
+// longer head-connected. The result covers the example and is more
+// general than c; nil is returned when even the empty-bodied head cannot
+// cover it (head unification fails).
+//
+// The implementation is a single forward pass. The paper defines armg as
+// "repeatedly remove the least-indexed blocking atom": since prefix
+// coverage is monotone non-increasing as literals are appended, that is
+// equivalent to scanning left to right and keeping each literal only if
+// the kept prefix plus that literal still covers the example — n
+// subsumption tests instead of O(k log n) restarted searches.
+func ARMG(c *logic.Clause, ground *logic.Clause, opts subsume.Options) *logic.Clause {
+	head := &logic.Clause{Head: c.Head}
+	if !subsume.Subsumes(head, ground, opts) {
+		return nil
+	}
+	// Fast path: the clause may already cover the example.
+	if subsume.Subsumes(c, ground, opts) {
+		return c.PruneNotHeadConnected()
+	}
+	kept := make([]logic.Literal, 0, len(c.Body))
+	trial := &logic.Clause{Head: c.Head}
+	for _, lit := range c.Body {
+		trial.Body = append(kept, lit)
+		if subsume.Subsumes(trial, ground, opts) {
+			kept = trial.Body
+		}
+	}
+	out := (&logic.Clause{Head: c.Head, Body: kept}).PruneNotHeadConnected()
+	return out
+}
+
+// firstBlocking returns the least index i such that the prefix
+// (head ← body[0..i]) does not cover the ground clause; it assumes the
+// full body does not cover. Prefix coverage is monotone non-increasing,
+// so binary search applies. Exported within the package for tests and
+// for callers that need the blocking index itself.
+func firstBlocking(head logic.Literal, body []logic.Literal, ground *logic.Clause, opts subsume.Options) int {
+	lo, hi := 0, len(body)-1 // invariant: prefix through hi fails
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if subsume.Subsumes(&logic.Clause{Head: head, Body: body[:mid+1]}, ground, opts) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,118 @@
+// Package learn implements the relational learning core: the sequential
+// covering loop (Algorithm 1), bottom-up clause learning with the armg
+// generalization operator and beam search (§2.3.2), and coverage testing
+// against per-example ground bottom clauses via θ-subsumption (§5).
+package learn
+
+import (
+	"fmt"
+
+	"repro/internal/bottom"
+	"repro/internal/logic"
+	"repro/internal/subsume"
+)
+
+// Example is a ground literal of the target relation.
+type Example = logic.Literal
+
+// CoverageEngine answers "does clause C cover example e" by testing
+// whether C θ-subsumes e's ground bottom clause (§5). Ground BCs are
+// built once per example with the same sampling strategy as the
+// (variabilized) bottom clauses and cached for the lifetime of the
+// engine.
+type CoverageEngine struct {
+	builder *bottom.Builder
+	subOpts subsume.Options
+	cache   map[string]*logic.Clause
+	// results memoizes Covers outcomes by clause identity. Clauses are
+	// immutable once built by the learner, so pointer identity is a safe
+	// and allocation-free key.
+	results map[*logic.Clause]map[string]bool
+	// Tests counts subsumption checks, for instrumentation.
+	Tests int
+}
+
+// NewCoverage creates an engine over the builder. The subsumption budget
+// defaults to 10000 nodes per test when unset — coverage runs thousands
+// of tests per learned clause, and the common hard case (proving a
+// negative is NOT covered) is where unbounded search goes to die (§5).
+func NewCoverage(builder *bottom.Builder, subOpts subsume.Options) *CoverageEngine {
+	if subOpts.MaxNodes <= 0 {
+		subOpts.MaxNodes = 10000
+	}
+	return &CoverageEngine{
+		builder: builder,
+		subOpts: subOpts,
+		cache:   make(map[string]*logic.Clause),
+		results: make(map[*logic.Clause]map[string]bool),
+	}
+}
+
+// GroundBC returns the cached ground bottom clause for the example.
+func (ce *CoverageEngine) GroundBC(e Example) (*logic.Clause, error) {
+	key := e.String()
+	if g, ok := ce.cache[key]; ok {
+		return g, nil
+	}
+	g, err := ce.builder.ConstructGround(e)
+	if err != nil {
+		return nil, fmt.Errorf("learn: ground BC for %v: %w", e, err)
+	}
+	ce.cache[key] = g
+	return g, nil
+}
+
+// Covers reports whether the clause covers the example. Results are
+// memoized per (clause, example): the covering loop and beam scoring
+// revisit the same pairs many times.
+func (ce *CoverageEngine) Covers(c *logic.Clause, e Example) (bool, error) {
+	key := e.String()
+	if byEx, ok := ce.results[c]; ok {
+		if v, ok := byEx[key]; ok {
+			return v, nil
+		}
+	}
+	g, err := ce.GroundBC(e)
+	if err != nil {
+		return false, err
+	}
+	ce.Tests++
+	v := subsume.Subsumes(c, g, ce.subOpts)
+	byEx := ce.results[c]
+	if byEx == nil {
+		byEx = make(map[string]bool)
+		ce.results[c] = byEx
+	}
+	byEx[key] = v
+	return v, nil
+}
+
+// Count returns how many of the examples the clause covers.
+func (ce *CoverageEngine) Count(c *logic.Clause, examples []Example) (int, error) {
+	n := 0
+	for _, e := range examples {
+		ok, err := ce.Covers(c, e)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// DefinitionCovers reports whether any clause of the definition covers
+// the example.
+func (ce *CoverageEngine) DefinitionCovers(d *logic.Definition, e Example) (bool, error) {
+	for _, c := range d.Clauses {
+		ok, err := ce.Covers(c, e)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,401 @@
+package learn
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/bias"
+	"repro/internal/bottom"
+	"repro/internal/db"
+	"repro/internal/logic"
+	"repro/internal/subsume"
+)
+
+// Options configures the learner.
+type Options struct {
+	// Bottom configures BC construction (strategy, depth, sample size).
+	Bottom bottom.Options
+	// Subsume bounds coverage tests.
+	Subsume subsume.Options
+	// BeamWidth is the number of clauses kept per generalization round;
+	// <=0 defaults to 3.
+	BeamWidth int
+	// GeneralizeSample is |E+_S|: how many positive examples are drawn to
+	// generalize against per round; <=0 defaults to 10.
+	GeneralizeSample int
+	// EvalSampleCap bounds how many positive and negative examples score
+	// each candidate clause (coverage testing dominates learning time,
+	// §5); <=0 defaults to 200 of each.
+	EvalSampleCap int
+	// MinPositives is the minimum criterion of Algorithm 1: a clause must
+	// cover at least this many uncovered positives; <=0 defaults to 2
+	// (1 when fewer than 10 positives are available).
+	MinPositives int
+	// MinPrecision is the minimum clause precision pos/(pos+neg) on the
+	// scoring sample; <=0 defaults to 0.7.
+	MinPrecision float64
+	// MaxRounds caps beam-search rounds per clause; <=0 defaults to 10.
+	MaxRounds int
+	// Timeout bounds total learning wall-clock; 0 means no limit. A
+	// timed-out run returns the clauses learned so far with
+	// Stats.TimedOut set — this reproduces the paper's ">10h" rows.
+	Timeout time.Duration
+	// Seed drives example sampling; 0 selects a fixed default.
+	Seed int64
+}
+
+func (o Options) normalized() Options {
+	if o.BeamWidth <= 0 {
+		o.BeamWidth = 3
+	}
+	if o.GeneralizeSample <= 0 {
+		o.GeneralizeSample = 10
+	}
+	if o.EvalSampleCap <= 0 {
+		o.EvalSampleCap = 200
+	}
+	if o.MinPrecision <= 0 {
+		o.MinPrecision = 0.7
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Subsume.MaxNodes <= 0 {
+		// Coverage and armg run thousands of subsumption tests per
+		// learned clause; proving non-coverage exhausts whatever budget
+		// it is given, so the default is deliberately tight (§5 uses
+		// approximation for exactly this reason).
+		o.Subsume.MaxNodes = 5000
+	}
+	return o
+}
+
+// Stats reports what a learning run did.
+type Stats struct {
+	Clauses        int
+	RoundsTotal    int
+	CandidatesSeen int
+	CoverageTests  int
+	Elapsed        time.Duration
+	TimedOut       bool
+	// PositivesCovered is how many training positives the final
+	// definition covers.
+	PositivesCovered int
+}
+
+// Learner learns Horn definitions of one target relation with the
+// bottom-up sequential covering algorithm the paper builds on (Castor's
+// algorithm, §2.3).
+type Learner struct {
+	db    *db.Database
+	bias  *bias.Compiled
+	opts  Options
+	cover *CoverageEngine
+	rng   *rand.Rand
+	// deadline is the wall-clock budget of the current Learn call; the
+	// zero value means unbounded. Checked in every expensive inner loop
+	// so a budget overrun is bounded by one coverage test, not one beam
+	// round (§6's ">10h" budgets need faithful enforcement).
+	deadline time.Time
+}
+
+// expired reports whether the current run's budget is exhausted.
+func (l *Learner) expired() bool {
+	return !l.deadline.IsZero() && time.Now().After(l.deadline)
+}
+
+// New creates a learner over a database and compiled language bias.
+func New(d *db.Database, c *bias.Compiled, opts Options) *Learner {
+	opts = opts.normalized()
+	builder := bottom.NewBuilder(d, c, opts.Bottom)
+	return &Learner{
+		db:    d,
+		bias:  c,
+		opts:  opts,
+		cover: NewCoverage(builder, opts.Subsume),
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// Coverage exposes the learner's coverage engine (for evaluation against
+// held-out examples with the same ground-BC machinery).
+func (l *Learner) Coverage() *CoverageEngine { return l.cover }
+
+// Learn runs Algorithm 1: repeatedly learn one clause from the uncovered
+// positives, keep it if it meets the minimum criterion, and remove the
+// positives it covers. Seeds whose clauses fail the criterion are set
+// aside so the loop always progresses.
+func (l *Learner) Learn(pos, neg []Example) (*logic.Definition, *Stats, error) {
+	start := time.Now()
+	deadline := time.Time{}
+	if l.opts.Timeout > 0 {
+		deadline = start.Add(l.opts.Timeout)
+	}
+	l.deadline = deadline
+	stats := &Stats{}
+	def := &logic.Definition{Target: l.bias.Target()}
+
+	minPos := l.opts.MinPositives
+	if minPos <= 0 {
+		minPos = 2
+		if len(pos) < 10 {
+			minPos = 1
+		}
+	}
+
+	uncovered := append([]Example(nil), pos...)
+	for len(uncovered) > 0 {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			stats.TimedOut = true
+			break
+		}
+		seed := uncovered[0]
+		clause, err := l.learnClause(seed, uncovered, neg, deadline, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		keep := false
+		if clause != nil {
+			posCov, negCov, err := l.scoreCounts(clause, uncovered, neg)
+			if err != nil {
+				return nil, nil, err
+			}
+			prec := 1.0
+			if posCov+negCov > 0 {
+				prec = float64(posCov) / float64(posCov+negCov)
+			}
+			keep = posCov >= minPos && prec >= l.opts.MinPrecision
+		}
+		if !keep {
+			// Set the seed aside and try the next one.
+			uncovered = uncovered[1:]
+			continue
+		}
+		def.Add(clause)
+		stats.Clauses++
+		// Remove every positive the definition now covers.
+		var still []Example
+		for _, e := range uncovered {
+			ok, err := l.cover.Covers(clause, e)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ok {
+				still = append(still, e)
+			}
+		}
+		uncovered = still
+	}
+
+	covered := 0
+	for _, e := range pos {
+		ok, err := l.cover.DefinitionCovers(def, e)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			covered++
+		}
+	}
+	stats.PositivesCovered = covered
+	stats.CoverageTests = l.cover.Tests
+	stats.Elapsed = time.Since(start)
+	return def, stats, nil
+}
+
+// learnClause is the bottom-up LearnClause of §2.3: build the seed's
+// bottom clause, then beam-search over armg generalizations against
+// sampled positives, scoring by pos − neg coverage.
+func (l *Learner) learnClause(seed Example, pos, neg []Example, deadline time.Time, stats *Stats) (*logic.Clause, error) {
+	builder := l.cover.builder
+	bc, err := builder.Construct(seed)
+	if err != nil {
+		return nil, fmt.Errorf("learn: %w", err)
+	}
+	bc = bc.PruneNotHeadConnected()
+
+	posSample := l.sampleExamples(pos, l.opts.EvalSampleCap)
+	negSample := l.sampleExamples(neg, l.opts.EvalSampleCap)
+
+	evaluate := func(c *logic.Clause) (scored, error) {
+		stats.CandidatesSeen++
+		p, err := l.cover.Count(c, posSample)
+		if err != nil {
+			return scored{}, err
+		}
+		n, err := l.cover.Count(c, negSample)
+		if err != nil {
+			return scored{}, err
+		}
+		return scored{clause: c, score: p - n}, nil
+	}
+
+	best, err := evaluate(bc)
+	if err != nil {
+		return nil, err
+	}
+	beam := []scored{best}
+	seen := map[string]bool{bc.Key(): true}
+
+	stale := 0
+	for round := 0; round < l.opts.MaxRounds; round++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			stats.TimedOut = true
+			break
+		}
+		stats.RoundsTotal++
+		sample := l.sampleExamples(pos, l.opts.GeneralizeSample)
+		var candidates []scored
+		for _, b := range beam {
+			for _, e := range sample {
+				if l.expired() {
+					stats.TimedOut = true
+					break
+				}
+				g, err := l.cover.GroundBC(e)
+				if err != nil {
+					return nil, err
+				}
+				cand := ARMG(b.clause, g, l.opts.Subsume)
+				if cand == nil || len(cand.Body) == 0 {
+					continue
+				}
+				key := cand.Key()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				sc, err := evaluate(cand)
+				if err != nil {
+					return nil, err
+				}
+				candidates = append(candidates, sc)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		// Merge beam and candidates, keep the top BeamWidth. Stable
+		// preference: higher score first, then shorter clause.
+		all := append(beam, candidates...)
+		sortScored(all)
+		if len(all) > l.opts.BeamWidth {
+			all = all[:l.opts.BeamWidth]
+		}
+		improved := all[0].score > best.score
+		beam = all
+		if improved {
+			best = all[0]
+			stale = 0
+		} else {
+			// One grace round: ties often hide a more general clause one
+			// armg application away (the beam keeps equal-score shorter
+			// clauses first).
+			stale++
+			if stale >= 2 {
+				break
+			}
+		}
+	}
+	reduced, err := l.reduceClause(best.clause, negSample)
+	if err != nil {
+		return nil, err
+	}
+	return reduced, nil
+}
+
+// reduceClause performs negative-based reduction (Castor [44]): drop
+// every body literal whose removal does not increase coverage of
+// negatives. Removal only generalizes, so positive coverage never drops;
+// the surviving literals are the ones actually needed to keep the
+// negatives out, which keeps learned clauses short and able to
+// generalize past the training seeds.
+func (l *Learner) reduceClause(c *logic.Clause, negSample []Example) (*logic.Clause, error) {
+	if len(c.Body) <= 1 {
+		return c, nil
+	}
+	baseNeg, err := l.cover.Count(c, negSample)
+	if err != nil {
+		return nil, err
+	}
+	body := append([]logic.Literal(nil), c.Body...)
+	for i := len(body) - 1; i >= 0 && len(body) > 1; i-- {
+		if l.expired() {
+			break
+		}
+		trialBody := make([]logic.Literal, 0, len(body)-1)
+		trialBody = append(trialBody, body[:i]...)
+		trialBody = append(trialBody, body[i+1:]...)
+		trial := (&logic.Clause{Head: c.Head, Body: trialBody}).PruneNotHeadConnected()
+		if len(trial.Body) == 0 {
+			continue
+		}
+		n, err := l.cover.Count(trial, negSample)
+		if err != nil {
+			return nil, err
+		}
+		if n <= baseNeg {
+			body = trial.Body
+			baseNeg = n
+			if i > len(body) {
+				i = len(body)
+			}
+		}
+	}
+	return (&logic.Clause{Head: c.Head, Body: body}).PruneNotHeadConnected(), nil
+}
+
+// scoreCounts counts clause coverage over (samples of) the positive and
+// negative examples.
+func (l *Learner) scoreCounts(c *logic.Clause, pos, neg []Example) (int, int, error) {
+	posSample := l.sampleExamples(pos, l.opts.EvalSampleCap)
+	negSample := l.sampleExamples(neg, l.opts.EvalSampleCap)
+	p, err := l.cover.Count(c, posSample)
+	if err != nil {
+		return 0, 0, err
+	}
+	n, err := l.cover.Count(c, negSample)
+	if err != nil {
+		return 0, 0, err
+	}
+	return p, n, nil
+}
+
+// sampleExamples returns up to n examples drawn without replacement; the
+// full slice when it already fits.
+func (l *Learner) sampleExamples(xs []Example, n int) []Example {
+	if len(xs) <= n {
+		return xs
+	}
+	idx := l.rng.Perm(len(xs))[:n]
+	out := make([]Example, n)
+	for i, j := range idx {
+		out[i] = xs[j]
+	}
+	return out
+}
+
+// scored pairs a candidate clause with its pos−neg coverage score.
+type scored struct {
+	clause *logic.Clause
+	score  int
+}
+
+// sortScored orders candidates best-first: higher score, then shorter
+// clause (more general), then canonical string for determinism.
+func sortScored(all []scored) {
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		if len(all[i].clause.Body) != len(all[j].clause.Body) {
+			return len(all[i].clause.Body) < len(all[j].clause.Body)
+		}
+		return all[i].clause.Key() < all[j].clause.Key()
+	})
+}

@@ -1,0 +1,88 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefinitionAddSetsTarget(t *testing.T) {
+	d := &Definition{}
+	d.Add(MustParseClause("h(X) :- p(X)."))
+	if d.Target != "h" {
+		t.Fatalf("Target = %q", d.Target)
+	}
+	d.Add(MustParseClause("h(X) :- q(X)."))
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestDefinitionString(t *testing.T) {
+	d := &Definition{}
+	d.Add(MustParseClause("h(X) :- p(X)."))
+	d.Add(MustParseClause("h(X) :- q(X)."))
+	s := d.String()
+	if !strings.Contains(s, "h(X) :- p(X).") || !strings.Contains(s, "h(X) :- q(X).") {
+		t.Fatalf("String = %q", s)
+	}
+	if strings.Count(s, "\n") != 1 {
+		t.Fatalf("two clauses must print on two lines: %q", s)
+	}
+}
+
+func TestEmptyDefinitionString(t *testing.T) {
+	d := &Definition{}
+	if d.String() != "" || d.Len() != 0 {
+		t.Fatal("empty definition")
+	}
+}
+
+func TestClauseLengthAndGround(t *testing.T) {
+	c := MustParseClause("h(a) :- p(a,b), q(c).")
+	if c.Length() != 2 {
+		t.Fatalf("Length = %d", c.Length())
+	}
+	if !c.IsGround() {
+		t.Fatal("all-constant clause is ground")
+	}
+	v := MustParseClause("h(X) :- p(a,b).")
+	if v.IsGround() {
+		t.Fatal("clause with head variable is not ground")
+	}
+	v2 := MustParseClause("h(a) :- p(X,b).")
+	if v2.IsGround() {
+		t.Fatal("clause with body variable is not ground")
+	}
+}
+
+func TestClauseEqualDiffers(t *testing.T) {
+	a := MustParseClause("h(X) :- p(X).")
+	b := MustParseClause("h(X) :- p(X), q(X).")
+	c := MustParseClause("h(Y) :- p(Y).")
+	if a.Equal(b) {
+		t.Fatal("different lengths must differ")
+	}
+	if a.Equal(c) {
+		t.Fatal("Equal is syntactic; different variable names differ")
+	}
+	if a.Key() != c.Key() {
+		t.Fatal("Key is alpha-invariant; same structure must share keys")
+	}
+}
+
+func TestLiteralCloneIndependence(t *testing.T) {
+	l := NewLiteral("p", Var("X"))
+	c := l.Clone()
+	c.Terms[0] = Const("mutated")
+	if l.Terms[0] != Var("X") {
+		t.Fatal("Clone must deep-copy terms")
+	}
+}
+
+func TestVariablesDedupAcrossLiterals(t *testing.T) {
+	c := MustParseClause("h(X,Y) :- p(X,Y), q(Y,X).")
+	vars := c.Variables()
+	if len(vars) != 2 {
+		t.Fatalf("Variables = %v", vars)
+	}
+}

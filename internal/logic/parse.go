@@ -1,0 +1,193 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// ParseClause parses a clause in Datalog/Prolog syntax, e.g.
+//
+//	advisedBy(X,Y) :- student(X), professor(Y), publication(Z,X), publication(Z,Y).
+//
+// Terms starting with an uppercase letter or underscore are variables;
+// everything else (including double-quoted strings and numbers) is a
+// constant. Both ":-" and "<-" separate head from body; the trailing
+// period is optional. A bare literal parses as a fact (empty body).
+func ParseClause(s string) (*Clause, error) {
+	p := &parser{in: s}
+	p.skipSpace()
+	head, err := p.literal()
+	if err != nil {
+		return nil, fmt.Errorf("logic: parse clause %q: %w", s, err)
+	}
+	c := &Clause{Head: head}
+	p.skipSpace()
+	if p.eat(":-") || p.eat("<-") {
+		for {
+			p.skipSpace()
+			l, err := p.literal()
+			if err != nil {
+				return nil, fmt.Errorf("logic: parse clause %q: %w", s, err)
+			}
+			c.Body = append(c.Body, l)
+			p.skipSpace()
+			if !p.eat(",") {
+				break
+			}
+		}
+	}
+	p.skipSpace()
+	p.eat(".")
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("logic: parse clause %q: trailing input at offset %d", s, p.pos)
+	}
+	return c, nil
+}
+
+// MustParseClause is ParseClause that panics on error; intended for
+// tests and static clause tables.
+func MustParseClause(s string) *Clause {
+	c, err := ParseClause(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ParseDefinition parses one clause per non-empty line. Lines starting
+// with '%' or '#' are comments.
+func ParseDefinition(s string) (*Definition, error) {
+	d := &Definition{}
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		c, err := ParseClause(line)
+		if err != nil {
+			return nil, err
+		}
+		if d.Target != "" && c.Head.Predicate != d.Target {
+			return nil, fmt.Errorf("logic: definition mixes head predicates %s and %s", d.Target, c.Head.Predicate)
+		}
+		d.Add(c)
+	}
+	return d, nil
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		break
+	}
+}
+
+func (p *parser) eat(tok string) bool {
+	if strings.HasPrefix(p.in[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *parser) literal() (Literal, error) {
+	name, err := p.ident()
+	if err != nil {
+		return Literal{}, err
+	}
+	p.skipSpace()
+	if !p.eat("(") {
+		return Literal{}, fmt.Errorf("expected '(' after predicate %q at offset %d", name, p.pos)
+	}
+	var terms []Term
+	for {
+		p.skipSpace()
+		t, err := p.term()
+		if err != nil {
+			return Literal{}, err
+		}
+		terms = append(terms, t)
+		p.skipSpace()
+		if p.eat(",") {
+			continue
+		}
+		if p.eat(")") {
+			break
+		}
+		return Literal{}, fmt.Errorf("expected ',' or ')' at offset %d", p.pos)
+	}
+	return Literal{Predicate: name, Terms: terms}, nil
+}
+
+func (p *parser) term() (Term, error) {
+	if p.pos < len(p.in) && p.in[p.pos] == '"' {
+		v, err := p.quoted()
+		if err != nil {
+			return Term{}, err
+		}
+		return Const(v), nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return Term{}, err
+	}
+	r, _ := utf8.DecodeRuneInString(name)
+	if unicode.IsUpper(r) || r == '_' {
+		return Var(name), nil
+	}
+	return Const(name), nil
+}
+
+func (p *parser) quoted() (string, error) {
+	start := p.pos
+	p.pos++ // opening quote
+	var b strings.Builder
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		switch c {
+		case '"':
+			p.pos++
+			return b.String(), nil
+		case '\\':
+			p.pos++
+			if p.pos >= len(p.in) {
+				return "", fmt.Errorf("unterminated escape at offset %d", p.pos)
+			}
+			b.WriteByte(p.in[p.pos])
+			p.pos++
+		default:
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+	return "", fmt.Errorf("unterminated string starting at offset %d", start)
+}
+
+func (p *parser) ident() (string, error) {
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '_' || c == '.' || c == '-' || c == ':' || c == '/' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected identifier at offset %d", start)
+	}
+	return p.in[start:p.pos], nil
+}

@@ -1,0 +1,533 @@
+// Package subsume implements θ-subsumption testing, the coverage
+// primitive of §5: clause C θ-subsumes ground clause G iff there is a
+// substitution θ with Cθ.Head = G.Head and every body literal of Cθ
+// appearing in G's body. The learner tests whether a candidate clause
+// covers an example by checking whether it subsumes the example's ground
+// bottom clause.
+//
+// Subsumption is NP-hard, so the engine is an anytime approximation in
+// the spirit of the restarted strategy of Kuzelka and Zelezny [29]: a
+// deterministic backtracking search with fail-first literal ordering
+// runs under a node budget; if the budget is exhausted without an
+// answer, randomized restarts with shuffled value orderings follow. An
+// inconclusive outcome is reported as "does not subsume", matching the
+// paper's use of approximate coverage.
+//
+// Bottom clauses routinely hold hundreds of literals and coverage
+// testing dominates learning time, so the matcher compiles the clause
+// first: variables become dense integer ids (the substitution is an
+// array, not a map), ground literals are indexed per (predicate,
+// position) by value, each literal's "constrained degree" (term slots
+// held by a constant or a bound variable) is maintained incrementally as
+// variables bind and unbind, and candidate sets are retrieved through
+// the most selective bound position.
+package subsume
+
+import (
+	"math/rand"
+
+	"repro/internal/logic"
+)
+
+// Options bounds the search.
+type Options struct {
+	// MaxNodes is the binding-attempt budget for the deterministic pass
+	// (and for each restart). <=0 selects a default of 100000.
+	MaxNodes int
+	// Restarts is the number of randomized retries after an exhausted
+	// deterministic pass. <0 selects a default of 3; 0 disables restarts.
+	Restarts int
+	// Seed seeds the restart shuffles; 0 selects a fixed default so runs
+	// are reproducible.
+	Seed int64
+}
+
+func (o Options) normalized() Options {
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 100000
+	}
+	if o.Restarts < 0 {
+		o.Restarts = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Result reports the outcome of a subsumption check.
+type Result struct {
+	// Subsumes is true when a substitution was found.
+	Subsumes bool
+	// Complete is true when the answer is exact: either a substitution
+	// was found, or the full search space was exhausted. When false, the
+	// budget ran out and Subsumes is a (sound-negative) approximation.
+	Complete bool
+	// Nodes is the total number of binding attempts across all passes.
+	Nodes int
+}
+
+// Subsumes reports whether c θ-subsumes the ground clause g, using the
+// bounded engine. Inconclusive searches report false.
+func Subsumes(c, g *logic.Clause, opts Options) bool {
+	return Check(c, g, opts).Subsumes
+}
+
+// Check runs the subsumption test and returns the detailed result.
+func Check(c, g *logic.Clause, opts Options) Result {
+	opts = opts.normalized()
+
+	m, ok := newMatcher(c, g)
+	if !ok {
+		// Head mismatch, or a body predicate absent from g.
+		return Result{Subsumes: false, Complete: true}
+	}
+
+	total := 0
+	m.maxNodes = opts.MaxNodes
+	found, exhausted := m.run(nil)
+	total += m.nodes
+	if found {
+		return Result{Subsumes: true, Complete: true, Nodes: total}
+	}
+	if !exhausted {
+		return Result{Subsumes: false, Complete: true, Nodes: total}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for r := 0; r < opts.Restarts; r++ {
+		found, exhausted = m.run(rng)
+		total += m.nodes
+		if found {
+			return Result{Subsumes: true, Complete: true, Nodes: total}
+		}
+		if !exhausted {
+			return Result{Subsumes: false, Complete: true, Nodes: total}
+		}
+	}
+	return Result{Subsumes: false, Complete: false, Nodes: total}
+}
+
+// cTerm is a compiled term: a constant value, or a variable id.
+type cTerm struct {
+	varID int    // -1 for constants
+	val   string // constant value (unset for variables)
+}
+
+// cLit is a compiled body literal.
+type cLit struct {
+	terms []cTerm
+	// extent and index point into the matcher's per-predicate tables.
+	extent []logic.Literal
+	index  []map[string][]int
+}
+
+type varOcc struct {
+	lit   int
+	delta int
+}
+
+type matcher struct {
+	lits []cLit
+	// headBinding[v] is the ground value the head fixes for variable v
+	// ("" when the head leaves it free).
+	initial []string
+	varOccs [][]varOcc
+	nVars   int
+
+	// Search state, reset by run().
+	vals      []string // variable id -> bound value ("" = unbound)
+	bound     []bool
+	matched   []bool
+	deg       []int
+	baseDeg   []int
+	remaining int
+	nodes     int
+	maxNodes  int
+	rng       *rand.Rand
+
+	// Degree buckets make pickLiteral O(1): buckets[d] holds the
+	// unmatched literals with constrained degree d; pos[li] is li's slot
+	// in its bucket; topDeg is the highest possibly-non-empty bucket.
+	buckets [][]int
+	pos     []int
+	topDeg  int
+}
+
+// newMatcher compiles the clause against the ground clause. ok is false
+// when the head cannot match or some body predicate has no extent.
+func newMatcher(c, g *logic.Clause) (*matcher, bool) {
+	// Head match: bind head variables, reject constant mismatches.
+	if c.Head.Predicate != g.Head.Predicate || len(c.Head.Terms) != len(g.Head.Terms) {
+		return nil, false
+	}
+	varID := make(map[string]int)
+	idOf := func(name string) int {
+		if id, ok := varID[name]; ok {
+			return id
+		}
+		id := len(varID)
+		varID[name] = id
+		return id
+	}
+	headVal := make(map[int]string)
+	for i, t := range c.Head.Terms {
+		gv := g.Head.Terms[i].Name
+		if t.IsConst() {
+			if t.Name != gv {
+				return nil, false
+			}
+			continue
+		}
+		id := idOf(t.Name)
+		if prev, ok := headVal[id]; ok {
+			if prev != gv {
+				return nil, false
+			}
+			continue
+		}
+		headVal[id] = gv
+	}
+
+	byPred := make(map[string][]logic.Literal)
+	for _, l := range g.Body {
+		byPred[l.Predicate] = append(byPred[l.Predicate], l)
+	}
+	indexByPred := make(map[string][]map[string][]int)
+
+	m := &matcher{lits: make([]cLit, len(c.Body))}
+	for i, l := range c.Body {
+		ext := byPred[l.Predicate]
+		if len(ext) == 0 {
+			return nil, false
+		}
+		idx := indexByPred[l.Predicate]
+		if idx == nil {
+			arity := len(ext[0].Terms)
+			idx = make([]map[string][]int, arity)
+			for p := range idx {
+				idx[p] = make(map[string][]int)
+			}
+			for gi, gl := range ext {
+				for p, t := range gl.Terms {
+					if p < arity {
+						idx[p][t.Name] = append(idx[p][t.Name], gi)
+					}
+				}
+			}
+			indexByPred[l.Predicate] = idx
+		}
+		cl := cLit{terms: make([]cTerm, len(l.Terms)), extent: ext, index: idx}
+		for p, t := range l.Terms {
+			if t.IsConst() {
+				cl.terms[p] = cTerm{varID: -1, val: t.Name}
+			} else {
+				cl.terms[p] = cTerm{varID: idOf(t.Name)}
+			}
+		}
+		m.lits[i] = cl
+	}
+
+	m.nVars = len(varID)
+	m.initial = make([]string, m.nVars)
+	for id, v := range headVal {
+		m.initial[id] = v
+	}
+	m.varOccs = make([][]varOcc, m.nVars)
+	for li, cl := range m.lits {
+		for _, t := range cl.terms {
+			if t.varID >= 0 {
+				m.varOccs[t.varID] = append(m.varOccs[t.varID], varOcc{lit: li, delta: 1})
+			}
+		}
+	}
+	// Base degrees: constants and head-bound variables.
+	m.baseDeg = make([]int, len(m.lits))
+	for li, cl := range m.lits {
+		for _, t := range cl.terms {
+			if t.varID < 0 || m.initial[t.varID] != "" {
+				m.baseDeg[li]++
+			}
+		}
+	}
+	m.vals = make([]string, m.nVars)
+	m.bound = make([]bool, m.nVars)
+	m.matched = make([]bool, len(m.lits))
+	m.deg = make([]int, len(m.lits))
+	maxDeg := 0
+	for _, cl := range m.lits {
+		if len(cl.terms) > maxDeg {
+			maxDeg = len(cl.terms)
+		}
+	}
+	m.buckets = make([][]int, maxDeg+1)
+	m.pos = make([]int, len(m.lits))
+	return m, true
+}
+
+// bucketAdd places unmatched literal li into the bucket for its degree.
+func (m *matcher) bucketAdd(li int) {
+	d := m.deg[li]
+	m.pos[li] = len(m.buckets[d])
+	m.buckets[d] = append(m.buckets[d], li)
+	if d > m.topDeg {
+		m.topDeg = d
+	}
+}
+
+// bucketRemove takes literal li out of its current bucket (swap-delete).
+func (m *matcher) bucketRemove(li int) {
+	d := m.deg[li]
+	b := m.buckets[d]
+	p := m.pos[li]
+	last := len(b) - 1
+	b[p] = b[last]
+	m.pos[b[p]] = p
+	m.buckets[d] = b[:last]
+}
+
+// run performs one (deterministic or randomized) search pass.
+func (m *matcher) run(rng *rand.Rand) (bool, bool) {
+	m.nodes = 0
+	m.rng = rng
+	m.remaining = len(m.lits)
+	for d := range m.buckets {
+		m.buckets[d] = m.buckets[d][:0]
+	}
+	m.topDeg = 0
+	for i := range m.matched {
+		m.matched[i] = false
+		m.deg[i] = m.baseDeg[i]
+		m.bucketAdd(i)
+	}
+	for v := 0; v < m.nVars; v++ {
+		m.vals[v] = m.initial[v]
+		m.bound[v] = m.initial[v] != ""
+	}
+	if m.remaining == 0 {
+		return true, false
+	}
+	return m.solve()
+}
+
+// pickLiteral chooses the next literal: one from the highest non-empty
+// degree bucket, tie-breaking up to four entries by indexed candidate
+// bound. Bucket maintenance makes this O(1) amortized per node.
+func (m *matcher) pickLiteral() int {
+	for m.topDeg > 0 && len(m.buckets[m.topDeg]) == 0 {
+		m.topDeg--
+	}
+	b := m.buckets[m.topDeg]
+	if len(b) == 0 {
+		return -1
+	}
+	best := b[0]
+	if m.topDeg == 0 || len(b) == 1 {
+		return best
+	}
+	bestBound := m.candidateBound(best)
+	if bestBound <= 1 {
+		return best
+	}
+	limit := len(b)
+	if limit > 4 {
+		limit = 4
+	}
+	for i := 1; i < limit; i++ {
+		if bd := m.candidateBound(b[i]); bd < bestBound {
+			best, bestBound = b[i], bd
+			if bd <= 1 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// candidateBound returns the size of the cheapest index list usable for
+// literal li (the extent size when nothing is bound).
+func (m *matcher) candidateBound(li int) int {
+	cl := &m.lits[li]
+	best := len(cl.extent)
+	if len(cl.index) != len(cl.terms) {
+		return 0 // arity mismatch with the ground extent
+	}
+	for p, t := range cl.terms {
+		var want string
+		if t.varID < 0 {
+			want = t.val
+		} else if m.bound[t.varID] {
+			want = m.vals[t.varID]
+		} else {
+			continue
+		}
+		if n := len(cl.index[p][want]); n < best {
+			best = n
+			if best == 0 {
+				return 0
+			}
+		}
+	}
+	return best
+}
+
+// candidates returns the extent positions compatible with literal li,
+// via the most selective bound position.
+func (m *matcher) candidates(li int) []int {
+	cl := &m.lits[li]
+	if len(cl.index) != len(cl.terms) {
+		return nil
+	}
+	var bestList []int
+	haveBound := false
+	for p, t := range cl.terms {
+		var want string
+		if t.varID < 0 {
+			want = t.val
+		} else if m.bound[t.varID] {
+			want = m.vals[t.varID]
+		} else {
+			continue
+		}
+		list := cl.index[p][want]
+		if !haveBound || len(list) < len(bestList) {
+			bestList, haveBound = list, true
+			if len(list) == 0 {
+				return nil
+			}
+		}
+	}
+
+	check := func(g logic.Literal) bool {
+		for p, t := range cl.terms {
+			if t.varID < 0 {
+				if t.val != g.Terms[p].Name {
+					return false
+				}
+				continue
+			}
+			if m.bound[t.varID] && m.vals[t.varID] != g.Terms[p].Name {
+				return false
+			}
+		}
+		return true
+	}
+
+	var out []int
+	if haveBound {
+		for _, gi := range bestList {
+			if check(cl.extent[gi]) {
+				out = append(out, gi)
+			}
+		}
+		return out
+	}
+	for gi, gl := range cl.extent {
+		if check(gl) {
+			out = append(out, gi)
+		}
+	}
+	return out
+}
+
+func (m *matcher) bindVar(v int, val string) {
+	m.vals[v] = val
+	m.bound[v] = true
+	for _, occ := range m.varOccs[v] {
+		if m.matched[occ.lit] {
+			m.deg[occ.lit] += occ.delta
+			continue
+		}
+		m.bucketRemove(occ.lit)
+		m.deg[occ.lit] += occ.delta
+		m.bucketAdd(occ.lit)
+	}
+}
+
+func (m *matcher) unbindVar(v int) {
+	m.vals[v] = ""
+	m.bound[v] = false
+	for _, occ := range m.varOccs[v] {
+		if m.matched[occ.lit] {
+			m.deg[occ.lit] -= occ.delta
+			continue
+		}
+		m.bucketRemove(occ.lit)
+		m.deg[occ.lit] -= occ.delta
+		m.bucketAdd(occ.lit)
+	}
+}
+
+// solve matches every unmatched literal. It returns (matched,
+// budgetExhausted).
+func (m *matcher) solve() (bool, bool) {
+	if m.remaining == 0 {
+		return true, false
+	}
+	if m.nodes >= m.maxNodes {
+		return false, true
+	}
+
+	li := m.pickLiteral()
+	cands := m.candidates(li)
+	if len(cands) == 0 {
+		return false, false
+	}
+	if m.rng != nil {
+		m.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	}
+
+	cl := &m.lits[li]
+	m.bucketRemove(li)
+	m.matched[li] = true
+	m.remaining--
+	defer func() {
+		m.matched[li] = false
+		m.remaining++
+		m.bucketAdd(li)
+	}()
+
+	var boundBuf [8]int
+	exhausted := false
+	for _, gi := range cands {
+		m.nodes++
+		if m.nodes >= m.maxNodes {
+			return false, true
+		}
+		g := cl.extent[gi]
+		// Bind with undo. Repeated variables within the literal (p(X,X))
+		// bind on first occurrence and re-verify equality on later ones:
+		// candidates() checks slots against bindings made before the call.
+		bound := boundBuf[:0]
+		ok := true
+		for p, t := range cl.terms {
+			if t.varID < 0 {
+				continue // constants pre-checked by candidates
+			}
+			if m.bound[t.varID] {
+				if m.vals[t.varID] != g.Terms[p].Name {
+					ok = false
+					break
+				}
+				continue
+			}
+			m.bindVar(t.varID, g.Terms[p].Name)
+			bound = append(bound, t.varID)
+		}
+		if ok {
+			matched, ex := m.solve()
+			if matched {
+				return true, false
+			}
+			if ex {
+				exhausted = true
+			}
+		}
+		for _, v := range bound {
+			m.unbindVar(v)
+		}
+		if exhausted {
+			return false, true
+		}
+	}
+	return false, exhausted
+}
