@@ -187,6 +187,13 @@ type Options struct {
 	Timeout time.Duration
 	// Seed fixes all randomness (default 1).
 	Seed int64
+	// Workers bounds parallelism: coverage testing (the per-example
+	// θ-subsumption checks that dominate learning, §5) fans out over a
+	// worker pool of this size, and CrossValidate trains up to this many
+	// folds concurrently. <=0 defaults to runtime.GOMAXPROCS(0); 1
+	// reproduces the sequential engine exactly. Results are identical at
+	// every worker count (see DESIGN.md, "Concurrency architecture").
+	Workers int
 }
 
 func (o Options) method() Method {
@@ -333,6 +340,7 @@ func Learn(task Task, opts Options) (*Result, error) {
 			MinPrecision:  opts.MinPrecision,
 			Timeout:       opts.Timeout,
 			Seed:          opts.Seed,
+			Workers:       opts.Workers,
 		})
 		def, stats, err := l.Learn(task.Pos, task.Neg)
 		if err != nil {
@@ -353,6 +361,7 @@ func Learn(task Task, opts Options) (*Result, error) {
 			MinPrecision:  opts.MinPrecision,
 			Timeout:       opts.Timeout,
 			Seed:          opts.Seed,
+			Workers:       opts.Workers,
 		})
 		def, stats, err := l.Learn(task.Pos, task.Neg)
 		if err != nil {
@@ -399,7 +408,9 @@ func RenderTypeGraph(g *TypeGraph, task Task) string {
 
 // CrossValidate runs k-fold cross validation of one method over a task,
 // as in §6: learn on each fold's training split, score on its test
-// split, and average.
+// split, and average. Folds are independent learning problems over the
+// shared read-only database, so up to Options.Workers of them train
+// concurrently; results are identical at every worker count.
 func CrossValidate(task Task, opts Options, k int) (CVResult, error) {
 	folds, err := eval.KFold(task.Pos, task.Neg, k, opts.Seed+100)
 	if err != nil {
@@ -415,7 +426,7 @@ func CrossValidate(task Task, opts Options, k int) (CVResult, error) {
 		out := eval.FoldOutcome{Elapsed: res.Elapsed + res.BiasTime, TimedOut: res.TimedOut, Clauses: res.Clauses}
 		return res.Definition, res.covers, out, nil
 	}
-	return eval.CrossValidate(folds, trainer)
+	return eval.CrossValidateParallel(folds, trainer, opts.Workers)
 }
 
 func examplesToTuples(examples []Example) []Tuple {

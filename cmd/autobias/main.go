@@ -40,6 +40,7 @@ func main() {
 	depth := flag.Int("depth", 2, "bottom-clause construction depth d")
 	sampleSize := flag.Int("s", 20, "sample size s (tuples per mode/stratum)")
 	timeout := flag.Duration("timeout", 0, "learning budget (0 = unlimited)")
+	workers := flag.Int("workers", 0, "coverage-test worker pool size (0 = all CPUs, 1 = sequential; results are identical at any setting)")
 	flag.Parse()
 
 	task, err := buildTask(*dataset, *scale, *seed, *csvDir, *target, *attrs, *posFile, *negFile)
@@ -59,6 +60,7 @@ func main() {
 		SampleSize: *sampleSize,
 		Timeout:    *timeout,
 		Seed:       *seed,
+		Workers:    *workers,
 	}
 	res, err := autobias.Learn(task, opts)
 	if err != nil {

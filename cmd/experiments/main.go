@@ -36,6 +36,7 @@ type config struct {
 	folds   int // 0 = paper protocol: 10-fold, 5 for UW
 	reps    int // Table 6 repetitions for random/stratified
 	timeout time.Duration
+	workers int // coverage + CV fold parallelism (0 = all CPUs)
 }
 
 func main() {
@@ -46,11 +47,12 @@ func main() {
 	folds := flag.Int("folds", 0, "cross-validation folds (0 = paper protocol)")
 	reps := flag.Int("reps", 5, "Table 6 repetitions for random/stratified sampling")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-fold learning budget")
+	workers := flag.Int("workers", 0, "worker pool for coverage tests and concurrent CV folds (0 = all CPUs, 1 = sequential; results are identical at any setting)")
 	mdPath := flag.String("md", "", "also append the tables to this markdown file")
 	datasets := flag.String("datasets", "", "comma-separated subset of datasets (default: all)")
 	flag.Parse()
 
-	cfg := config{scale: *scale, seed: *seed, folds: *folds, reps: *reps, timeout: *timeout}
+	cfg := config{scale: *scale, seed: *seed, folds: *folds, reps: *reps, timeout: *timeout, workers: *workers}
 	if *quick {
 		cfg.scale, cfg.folds, cfg.reps, cfg.timeout = 0.3, 3, 2, 15*time.Second
 	}
@@ -169,7 +171,7 @@ func runTable5(out io.Writer, names []string, cfg config) error {
 
 		cells := make([]cell, len(methods))
 		for i, m := range methods {
-			opts := autobias.Options{Method: m, Timeout: cfg.timeout, Seed: cfg.seed}
+			opts := autobias.Options{Method: m, Timeout: cfg.timeout, Seed: cfg.seed, Workers: cfg.workers}
 			if m == autobias.MethodAutoBias {
 				opts.INDs = inds
 			}
@@ -230,6 +232,7 @@ func runTable6(out io.Writer, names []string, cfg config) error {
 					Timeout:  cfg.timeout,
 					Seed:     cfg.seed + int64(r),
 					INDs:     inds,
+					Workers:  cfg.workers,
 				}
 				c, err := runCell(task, opts, k)
 				if err != nil {

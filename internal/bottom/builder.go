@@ -84,7 +84,8 @@ func (o Options) normalized() Options {
 
 // Builder constructs bottom clauses for examples of one target relation
 // over one database and compiled bias. A Builder is not safe for
-// concurrent use (it owns an RNG); create one per goroutine.
+// concurrent use (it owns an RNG); worker pools must give each worker
+// its own builder via Clone or CloneSeeded rather than sharing one.
 type Builder struct {
 	db   *db.Database
 	bias *bias.Compiled
@@ -96,6 +97,21 @@ type Builder struct {
 func NewBuilder(d *db.Database, c *bias.Compiled, opts Options) *Builder {
 	opts = opts.normalized()
 	return &Builder{db: d, bias: c, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// Clone returns an independent builder sharing the (read-only) database
+// and compiled bias but owning a fresh RNG re-seeded from the options
+// seed. This is the concurrency contract for worker pools: the database
+// and bias are safe to share, the RNG is not, so each worker clones.
+func (b *Builder) Clone() *Builder {
+	return b.CloneSeeded(b.opts.Seed)
+}
+
+// CloneSeeded is Clone with an explicit RNG seed, for pools that derive
+// a deterministic per-worker or per-example seed so sampled clauses do
+// not depend on goroutine scheduling.
+func (b *Builder) CloneSeeded(seed int64) *Builder {
+	return &Builder{db: b.db, bias: b.bias, opts: b.opts, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Options returns the builder's normalized options.

@@ -99,5 +99,9 @@ func LoadCSVDir(dir string) (*Database, error) {
 			}
 		}
 	}
+	// Pre-build every index while still single-threaded: loading is a
+	// one-time cost, and it keeps the concurrent learning phase from
+	// paying first-touch index construction under the relation locks.
+	d.BuildIndexes()
 	return d, nil
 }

@@ -5,13 +5,19 @@
 // value frequencies for Olken-style sampling), all of which this engine
 // provides with per-attribute hash indexes.
 //
-// A Database is safe for concurrent reads once fully loaded; mutation
-// (Insert, AddRelation) is not synchronized and must happen-before reads.
+// A Database is safe for concurrent readers: the per-attribute hash
+// indexes are built lazily on first use behind a reader/writer lock
+// (double-checked), so parallel coverage workers and concurrent
+// cross-validation folds can read the same relations without a
+// happens-before handoff. Mutation (Insert, AddRelation) is still not
+// synchronized with readers and must happen-before them; loading and
+// learning remain distinct phases, as in the paper's workflow.
 package db
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Tuple is one row; values are untyped strings, matching the paper's
@@ -104,6 +110,11 @@ type Relation struct {
 	Schema *RelationSchema
 	Tuples []Tuple
 
+	// mu guards the lazy index structures below. Reads take the read
+	// lock only until the index is known to exist; once built, an index
+	// is immutable until the next Insert, so returning it and reading it
+	// outside the lock is safe.
+	mu sync.RWMutex
 	// indexes[i] maps a value of attribute i to the positions of the
 	// tuples holding it. Built by buildIndex on first use.
 	indexes []map[string][]int
@@ -116,25 +127,43 @@ type Relation struct {
 func (r *Relation) Len() int { return len(r.Tuples) }
 
 // Insert appends a tuple, validating arity. Inserting invalidates any
-// previously built index.
+// previously built index. Insert is a mutation: it must not run
+// concurrently with readers (see the package comment).
 func (r *Relation) Insert(t Tuple) error {
 	if len(t) != r.Schema.Arity() {
 		return fmt.Errorf("db: %s: tuple arity %d, want %d", r.Schema.Name, len(t), r.Schema.Arity())
 	}
 	r.Tuples = append(r.Tuples, t)
+	r.mu.Lock()
 	r.indexes = nil
 	r.maxFreq = nil
+	r.mu.Unlock()
 	return nil
 }
 
-// buildIndex materializes the hash index for attribute i.
-func (r *Relation) buildIndex(i int) map[string][]int {
+// buildIndex returns the hash index and maximum value frequency for
+// attribute i, materializing them on first use. Safe for concurrent
+// callers: the fast path takes only a read lock, and construction is
+// serialized behind the write lock with a re-check, so two readers never
+// build the same index twice. The returned map is immutable until the
+// next Insert.
+func (r *Relation) buildIndex(i int) (map[string][]int, int) {
+	r.mu.RLock()
+	if r.indexes != nil && r.indexes[i] != nil {
+		idx, max := r.indexes[i], r.maxFreq[i]
+		r.mu.RUnlock()
+		return idx, max
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.indexes == nil {
 		r.indexes = make([]map[string][]int, r.Schema.Arity())
 		r.maxFreq = make([]int, r.Schema.Arity())
 	}
 	if r.indexes[i] != nil {
-		return r.indexes[i]
+		return r.indexes[i], r.maxFreq[i]
 	}
 	idx := make(map[string][]int)
 	for pos, t := range r.Tuples {
@@ -148,7 +177,7 @@ func (r *Relation) buildIndex(i int) map[string][]int {
 	}
 	r.indexes[i] = idx
 	r.maxFreq[i] = max
-	return idx
+	return idx, max
 }
 
 // BuildIndexes eagerly builds every attribute index. Call once after
@@ -161,7 +190,7 @@ func (r *Relation) BuildIndexes() {
 
 // Lookup returns the tuples whose attribute attr equals value.
 func (r *Relation) Lookup(attr int, value string) []Tuple {
-	idx := r.buildIndex(attr)
+	idx, _ := r.buildIndex(attr)
 	positions := idx[value]
 	if len(positions) == 0 {
 		return nil
@@ -176,25 +205,27 @@ func (r *Relation) Lookup(attr int, value string) []Tuple {
 // Frequency returns m_{R.attr}(value): how many tuples hold value in
 // attribute attr.
 func (r *Relation) Frequency(attr int, value string) int {
-	return len(r.buildIndex(attr)[value])
+	idx, _ := r.buildIndex(attr)
+	return len(idx[value])
 }
 
 // MaxFrequency returns M_{R.attr}: the maximum frequency of any value in
 // attribute attr (0 for an empty relation).
 func (r *Relation) MaxFrequency(attr int) int {
-	r.buildIndex(attr)
-	return r.maxFreq[attr]
+	_, max := r.buildIndex(attr)
+	return max
 }
 
 // DistinctCount returns the number of distinct values in attribute attr.
 func (r *Relation) DistinctCount(attr int) int {
-	return len(r.buildIndex(attr))
+	idx, _ := r.buildIndex(attr)
+	return len(idx)
 }
 
 // DistinctValues returns the distinct values of attribute attr in sorted
 // order (sorted for determinism).
 func (r *Relation) DistinctValues(attr int) []string {
-	idx := r.buildIndex(attr)
+	idx, _ := r.buildIndex(attr)
 	out := make([]string, 0, len(idx))
 	for v := range idx {
 		out = append(out, v)
@@ -205,14 +236,15 @@ func (r *Relation) DistinctValues(attr int) []string {
 
 // Contains reports whether value appears in attribute attr.
 func (r *Relation) Contains(attr int, value string) bool {
-	return len(r.buildIndex(attr)[value]) > 0
+	idx, _ := r.buildIndex(attr)
+	return len(idx[value]) > 0
 }
 
 // SelectIn returns σ_{attr ∈ values}(R): every tuple whose attribute attr
 // takes a value in the given set. This is the selection primitive used by
 // bottom-clause construction (paper Algorithm 2, line 7).
 func (r *Relation) SelectIn(attr int, values map[string]bool) []Tuple {
-	idx := r.buildIndex(attr)
+	idx, _ := r.buildIndex(attr)
 	var out []Tuple
 	// Iterate the smaller side for efficiency on large relations.
 	if len(values) <= len(idx) {
@@ -323,6 +355,7 @@ func Extend(d *Database, name string, attributes []string, tuples []Tuple) (*Dat
 			return nil, err
 		}
 	}
+	extra.BuildIndexes()
 	ext.relations[name] = extra
 	return ext, nil
 }

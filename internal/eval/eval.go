@@ -6,6 +6,9 @@ package eval
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/logic"
@@ -131,26 +134,76 @@ type CVResult struct {
 }
 
 // Trainer learns a definition from one fold's training data and returns
-// it with a cover function for scoring and run metadata.
+// it with a cover function for scoring and run metadata. Trainers passed
+// to CrossValidateParallel with more than one worker must be safe to
+// call concurrently (independent learner state per call, shared inputs
+// read-only).
 type Trainer func(fold Fold) (*logic.Definition, CoverFunc, FoldOutcome, error)
 
-// CrossValidate runs the trainer over every fold and averages.
+// CrossValidate runs the trainer over every fold sequentially and
+// averages.
 func CrossValidate(folds []Fold, train Trainer) (CVResult, error) {
+	return CrossValidateParallel(folds, train, 1)
+}
+
+// CrossValidateParallel trains up to workers folds concurrently
+// (workers <= 0 selects runtime.GOMAXPROCS(0)). Folds are independent
+// learning problems — each trainer call builds its own learner over the
+// shared read-only database — and outcomes are aggregated in fold
+// order, so the result is identical at every worker count; the paper's
+// per-fold seeds derive from the fold index through KFold, not from
+// scheduling. On error the first failing fold (lowest index) wins and
+// no new folds are started.
+func CrossValidateParallel(folds []Fold, train Trainer, workers int) (CVResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(folds) {
+		workers = len(folds)
+	}
+
+	outcomes := make([]FoldOutcome, len(folds))
+	errs := make([]error, len(folds))
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(folds) || stop.Load() {
+					return
+				}
+				def, covers, outcome, err := train(folds[i])
+				if err == nil {
+					var m Metrics
+					m, err = Evaluate(covers, def, folds[i].TestPos, folds[i].TestNeg)
+					outcome.Metrics = m
+				}
+				if err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+				outcomes[i] = outcome
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return CVResult{}, err
+		}
+	}
+
 	var res CVResult
-	for _, fold := range folds {
-		def, covers, outcome, err := train(fold)
-		if err != nil {
-			return CVResult{}, err
-		}
-		m, err := Evaluate(covers, def, fold.TestPos, fold.TestNeg)
-		if err != nil {
-			return CVResult{}, err
-		}
-		outcome.Metrics = m
+	for _, outcome := range outcomes {
 		res.Folds = append(res.Folds, outcome)
-		res.Precision += m.Precision
-		res.Recall += m.Recall
-		res.F1 += m.F1
+		res.Precision += outcome.Metrics.Precision
+		res.Recall += outcome.Metrics.Recall
+		res.F1 += outcome.Metrics.F1
 		res.MeanTime += outcome.Elapsed
 		res.TimedOut = res.TimedOut || outcome.TimedOut
 	}

@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/logic"
+)
+
+// fakeTrainer is a deterministic stand-in for learning: it "covers" a
+// test example iff the example's first constant also appears among the
+// fold's training positives, so metrics depend only on the fold split.
+func fakeTrainer(delay time.Duration) Trainer {
+	return func(fold Fold) (*logic.Definition, CoverFunc, FoldOutcome, error) {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		trained := make(map[string]bool)
+		for _, e := range fold.TrainPos {
+			trained[e.Terms[0].Name] = true
+		}
+		covers := func(_ *logic.Definition, e logic.Literal) (bool, error) {
+			return trained[e.Terms[0].Name], nil
+		}
+		def := &logic.Definition{Target: "t"}
+		return def, covers, FoldOutcome{Elapsed: time.Millisecond, Clauses: 1}, nil
+	}
+}
+
+func cvExamples(n int) ([]logic.Literal, []logic.Literal) {
+	var pos, neg []logic.Literal
+	for i := 0; i < n; i++ {
+		pos = append(pos, logic.NewLiteral("t", logic.Const(fmt.Sprintf("p%d", i%7))))
+		neg = append(neg, logic.NewLiteral("t", logic.Const(fmt.Sprintf("n%d", i))))
+	}
+	return pos, neg
+}
+
+// TestCrossValidateParallelDeterministic: the parallel fold pool must
+// reproduce the sequential result exactly — same per-fold outcomes in
+// fold order, same means — at every worker count.
+func TestCrossValidateParallelDeterministic(t *testing.T) {
+	pos, neg := cvExamples(40)
+	folds, err := KFold(pos, neg, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := CrossValidate(folds, fakeTrainer(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := CrossValidateParallel(folds, fakeTrainer(time.Millisecond), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: CV result diverges:\ngot  %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+// TestCrossValidateParallelError: a failing fold surfaces its error and
+// stops the pool from starting new folds.
+func TestCrossValidateParallelError(t *testing.T) {
+	pos, neg := cvExamples(40)
+	folds, err := KFold(pos, neg, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	boom := fmt.Errorf("boom")
+	trainer := func(fold Fold) (*logic.Definition, CoverFunc, FoldOutcome, error) {
+		if calls.Add(1) == 2 {
+			return nil, nil, FoldOutcome{}, boom
+		}
+		return fakeTrainer(0)(fold)
+	}
+	if _, err := CrossValidateParallel(folds, trainer, 2); err == nil {
+		t.Fatal("expected the failing fold's error to surface")
+	}
+}

@@ -12,6 +12,7 @@ package foil
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 
@@ -47,6 +48,9 @@ type Options struct {
 	Timeout time.Duration
 	// Seed drives sampling; 0 selects a fixed default.
 	Seed int64
+	// Workers bounds the coverage engine's worker pool, as in the
+	// bottom-up learner; <=0 defaults to runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 func (o Options) normalized() Options {
@@ -67,6 +71,9 @@ func (o Options) normalized() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.Subsume.MaxNodes <= 0 {
 		// Same rationale as the bottom-up learner: coverage testing
@@ -97,11 +104,13 @@ type Learner struct {
 func New(d *db.Database, c *bias.Compiled, opts Options) *Learner {
 	opts = opts.normalized()
 	builder := bottom.NewBuilder(d, c, opts.Bottom)
+	cover := learn.NewCoverage(builder, opts.Subsume)
+	cover.SetWorkers(opts.Workers)
 	return &Learner{
 		db:    d,
 		bias:  c,
 		opts:  opts,
-		cover: learn.NewCoverage(builder, opts.Subsume),
+		cover: cover,
 		rng:   rand.New(rand.NewSource(opts.Seed)),
 	}
 }

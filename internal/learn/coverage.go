@@ -6,6 +6,10 @@ package learn
 
 import (
 	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bottom"
 	"repro/internal/logic"
@@ -20,22 +24,52 @@ type Example = logic.Literal
 // built once per example with the same sampling strategy as the
 // (variabilized) bottom clauses and cached for the lifetime of the
 // engine.
+//
+// The engine is safe for concurrent use and fans Count/CountUpTo out
+// over a bounded worker pool (SetWorkers). Coverage testing is the
+// dominant cost of learning (§5) and the per-example checks are
+// independent, so this is where parallel hardware pays off. Three rules
+// keep results bit-identical to the sequential engine at every worker
+// count:
+//
+//   - Subsumption tests are pure: each call owns its restart RNG
+//     (see the subsume package's concurrency contract), so an outcome
+//     depends only on (clause, ground BC, options), never on which
+//     worker runs it.
+//   - Ground BCs consumed by a Count are prefetched sequentially, in
+//     slice order, through the one shared builder — exactly the order
+//     and RNG consumption of the sequential engine.
+//   - A worker that still misses the BC cache (possible only for
+//     callers invoking Covers concurrently from outside the pool) never
+//     touches the shared builder: it clones it with a seed derived from
+//     the example, so the constructed BC is a deterministic function of
+//     the example, not of goroutine scheduling.
 type CoverageEngine struct {
 	builder *bottom.Builder
 	subOpts subsume.Options
+	workers int
+
+	// mu guards cache and results. buildMu serializes the shared
+	// builder, whose RNG makes it unsafe for concurrent use (see
+	// bottom.Builder.Clone); it is separate from mu so cached reads
+	// never wait on a BC under construction.
+	mu      sync.RWMutex
+	buildMu sync.Mutex
 	cache   map[string]*logic.Clause
 	// results memoizes Covers outcomes by clause identity. Clauses are
 	// immutable once built by the learner, so pointer identity is a safe
 	// and allocation-free key.
 	results map[*logic.Clause]map[string]bool
-	// Tests counts subsumption checks, for instrumentation.
-	Tests int
+
+	// tests counts subsumption checks, for instrumentation.
+	tests atomic.Int64
 }
 
 // NewCoverage creates an engine over the builder. The subsumption budget
 // defaults to 10000 nodes per test when unset — coverage runs thousands
 // of tests per learned clause, and the common hard case (proving a
 // negative is NOT covered) is where unbounded search goes to die (§5).
+// The engine starts sequential; call SetWorkers to enable the pool.
 func NewCoverage(builder *bottom.Builder, subOpts subsume.Options) *CoverageEngine {
 	if subOpts.MaxNodes <= 0 {
 		subOpts.MaxNodes = 10000
@@ -43,67 +77,241 @@ func NewCoverage(builder *bottom.Builder, subOpts subsume.Options) *CoverageEngi
 	return &CoverageEngine{
 		builder: builder,
 		subOpts: subOpts,
+		workers: 1,
 		cache:   make(map[string]*logic.Clause),
 		results: make(map[*logic.Clause]map[string]bool),
 	}
 }
 
-// GroundBC returns the cached ground bottom clause for the example.
+// SetWorkers bounds the coverage worker pool; n <= 0 selects
+// runtime.GOMAXPROCS(0). At 1 worker the engine runs the exact
+// sequential code path (same subsumption order, same test counts) as
+// the pre-pool engine.
+func (ce *CoverageEngine) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	ce.workers = n
+}
+
+// Workers returns the configured pool bound.
+func (ce *CoverageEngine) Workers() int { return ce.workers }
+
+// TestCount returns how many subsumption checks the engine has run.
+func (ce *CoverageEngine) TestCount() int { return int(ce.tests.Load()) }
+
+// GroundBC returns the cached ground bottom clause for the example,
+// building it with the shared builder (serialized, so concurrent calls
+// never construct the same BC twice nor interleave RNG draws).
 func (ce *CoverageEngine) GroundBC(e Example) (*logic.Clause, error) {
 	key := e.String()
-	if g, ok := ce.cache[key]; ok {
+	if g, ok := ce.cachedBC(key); ok {
+		return g, nil
+	}
+	ce.buildMu.Lock()
+	defer ce.buildMu.Unlock()
+	// Re-check: another goroutine may have built it while we waited.
+	if g, ok := ce.cachedBC(key); ok {
 		return g, nil
 	}
 	g, err := ce.builder.ConstructGround(e)
 	if err != nil {
 		return nil, fmt.Errorf("learn: ground BC for %v: %w", e, err)
 	}
-	ce.cache[key] = g
+	ce.storeBC(key, g)
 	return g, nil
+}
+
+// groundBCPooled is the pool workers' BC access: a cache hit is shared,
+// a miss is built on a clone of the builder seeded from the example key,
+// so the result is identical no matter which worker gets there first.
+// (Count prefetches, so this miss path only fires for concurrent
+// external Covers callers.)
+func (ce *CoverageEngine) groundBCPooled(e Example) (*logic.Clause, error) {
+	key := e.String()
+	if g, ok := ce.cachedBC(key); ok {
+		return g, nil
+	}
+	b := ce.builder.CloneSeeded(deriveSeed(ce.subOpts.Seed, key))
+	g, err := b.ConstructGround(e)
+	if err != nil {
+		return nil, fmt.Errorf("learn: ground BC for %v: %w", e, err)
+	}
+	ce.mu.Lock()
+	// First build wins, so every caller sees one canonical BC pointer.
+	if prev, ok := ce.cache[key]; ok {
+		g = prev
+	} else {
+		ce.cache[key] = g
+	}
+	ce.mu.Unlock()
+	return g, nil
+}
+
+func (ce *CoverageEngine) cachedBC(key string) (*logic.Clause, bool) {
+	ce.mu.RLock()
+	g, ok := ce.cache[key]
+	ce.mu.RUnlock()
+	return g, ok
+}
+
+func (ce *CoverageEngine) storeBC(key string, g *logic.Clause) {
+	ce.mu.Lock()
+	ce.cache[key] = g
+	ce.mu.Unlock()
+}
+
+// deriveSeed maps (base seed, example key) to a deterministic RNG seed
+// for order-independent BC construction off the pool's builder clones.
+func deriveSeed(base int64, key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return base ^ int64(h.Sum64())
 }
 
 // Covers reports whether the clause covers the example. Results are
 // memoized per (clause, example): the covering loop and beam scoring
-// revisit the same pairs many times.
+// revisit the same pairs many times. Safe for concurrent use.
 func (ce *CoverageEngine) Covers(c *logic.Clause, e Example) (bool, error) {
+	return ce.covers(c, e, false)
+}
+
+func (ce *CoverageEngine) covers(c *logic.Clause, e Example, pooled bool) (bool, error) {
 	key := e.String()
-	if byEx, ok := ce.results[c]; ok {
-		if v, ok := byEx[key]; ok {
-			return v, nil
-		}
+	ce.mu.RLock()
+	v, ok := ce.results[c][key]
+	ce.mu.RUnlock()
+	if ok {
+		return v, nil
 	}
-	g, err := ce.GroundBC(e)
+	var g *logic.Clause
+	var err error
+	if pooled {
+		g, err = ce.groundBCPooled(e)
+	} else {
+		g, err = ce.GroundBC(e)
+	}
 	if err != nil {
 		return false, err
 	}
-	ce.Tests++
-	v := subsume.Subsumes(c, g, ce.subOpts)
+	ce.tests.Add(1)
+	v = subsume.Subsumes(c, g, ce.subOpts)
+	ce.mu.Lock()
 	byEx := ce.results[c]
 	if byEx == nil {
 		byEx = make(map[string]bool)
 		ce.results[c] = byEx
 	}
 	byEx[key] = v
+	ce.mu.Unlock()
 	return v, nil
 }
 
-// Count returns how many of the examples the clause covers.
+// Count returns how many of the examples the clause covers, fanning the
+// subsumption tests across the worker pool. The result is exact and
+// identical at every worker count.
 func (ce *CoverageEngine) Count(c *logic.Clause, examples []Example) (int, error) {
-	n := 0
+	return ce.countBounded(c, examples, len(examples)+1)
+}
+
+// CountUpTo counts coverage but lets the pool cancel once the count
+// reaches limit, returning min(exact count, limit). Callers that only
+// need a threshold decision ("does this clause cover more than k
+// negatives?") use it to stop paying for subsumption tests whose
+// outcome cannot change the decision. With one worker it computes the
+// full count — the sequential engine stays byte-identical to the
+// pre-pool implementation, early exit being purely a parallel-path
+// optimization.
+func (ce *CoverageEngine) CountUpTo(c *logic.Clause, examples []Example, limit int) (int, error) {
+	if limit < 0 {
+		limit = 0
+	}
+	return ce.countBounded(c, examples, limit)
+}
+
+func (ce *CoverageEngine) countBounded(c *logic.Clause, examples []Example, limit int) (int, error) {
+	nw := ce.workers
+	if nw > len(examples) {
+		nw = len(examples)
+	}
+	if nw <= 1 {
+		// Sequential path: exact legacy behavior, including the order of
+		// BC construction and the number of subsumption tests.
+		n := 0
+		for _, e := range examples {
+			ok, err := ce.Covers(c, e)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				n++
+			}
+		}
+		if n > limit {
+			n = limit
+		}
+		return n, nil
+	}
+
+	// Prefetch missing ground BCs sequentially, in slice order, through
+	// the shared builder: bit-identical RNG consumption to the
+	// sequential engine, so parallelism cannot perturb sampled BCs.
 	for _, e := range examples {
-		ok, err := ce.Covers(c, e)
-		if err != nil {
+		if _, err := ce.GroundBC(e); err != nil {
 			return 0, err
 		}
-		if ok {
-			n++
-		}
+	}
+
+	var (
+		count    atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(examples); i += nw {
+				if stop.Load() {
+					return
+				}
+				ok, err := ce.covers(c, examples[i], true)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					stop.Store(true)
+					return
+				}
+				if ok && count.Add(1) >= int64(limit) {
+					stop.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	n := int(count.Load())
+	if n > limit {
+		// Workers already past their stop check may each add one more
+		// covered example before observing the flag; clamp so the
+		// returned value is deterministic.
+		n = limit
 	}
 	return n, nil
 }
 
 // DefinitionCovers reports whether any clause of the definition covers
-// the example.
+// the example. Clauses are tried in order with early exit, matching the
+// sequential engine; the per-clause tests themselves are memoized, so
+// this stays cheap inside evaluation loops.
 func (ce *CoverageEngine) DefinitionCovers(d *logic.Definition, e Example) (bool, error) {
 	for _, c := range d.Clauses {
 		ok, err := ce.Covers(c, e)

@@ -3,6 +3,7 @@ package learn
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 
@@ -44,6 +45,12 @@ type Options struct {
 	Timeout time.Duration
 	// Seed drives example sampling; 0 selects a fixed default.
 	Seed int64
+	// Workers bounds the coverage engine's worker pool (§5's dominant
+	// cost is the per-example subsumption tests, which are independent
+	// and fan out). <=0 defaults to runtime.GOMAXPROCS(0); 1 runs the
+	// exact sequential path. Learned definitions are identical at every
+	// worker count: see CoverageEngine for the determinism argument.
+	Workers int
 }
 
 func (o Options) normalized() Options {
@@ -64,6 +71,9 @@ func (o Options) normalized() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.Subsume.MaxNodes <= 0 {
 		// Coverage and armg run thousands of subsumption tests per
@@ -113,11 +123,13 @@ func (l *Learner) expired() bool {
 func New(d *db.Database, c *bias.Compiled, opts Options) *Learner {
 	opts = opts.normalized()
 	builder := bottom.NewBuilder(d, c, opts.Bottom)
+	cover := NewCoverage(builder, opts.Subsume)
+	cover.SetWorkers(opts.Workers)
 	return &Learner{
 		db:    d,
 		bias:  c,
 		opts:  opts,
-		cover: NewCoverage(builder, opts.Subsume),
+		cover: cover,
 		rng:   rand.New(rand.NewSource(opts.Seed)),
 	}
 }
@@ -203,7 +215,7 @@ func (l *Learner) Learn(pos, neg []Example) (*logic.Definition, *Stats, error) {
 		}
 	}
 	stats.PositivesCovered = covered
-	stats.CoverageTests = l.cover.Tests
+	stats.CoverageTests = l.cover.TestCount()
 	stats.Elapsed = time.Since(start)
 	return def, stats, nil
 }
@@ -335,7 +347,10 @@ func (l *Learner) reduceClause(c *logic.Clause, negSample []Example) (*logic.Cla
 		if len(trial.Body) == 0 {
 			continue
 		}
-		n, err := l.cover.Count(trial, negSample)
+		// Only the threshold decision n <= baseNeg matters here, so the
+		// pool may stop counting at baseNeg+1: a failing trial costs one
+		// extra covered negative instead of the whole sample.
+		n, err := l.cover.CountUpTo(trial, negSample, baseNeg+1)
 		if err != nil {
 			return nil, err
 		}

@@ -21,6 +21,13 @@
 // held by a constant or a bound variable) is maintained incrementally as
 // variables bind and unbind, and candidate sets are retrieved through
 // the most selective bound position.
+//
+// Concurrency contract: Subsumes and Check are pure with respect to
+// shared state — every call compiles its own matcher and, when restarts
+// are needed, seeds its own *rand.Rand from Options.Seed. The outcome of
+// a test therefore depends only on (c, g, opts), never on which worker
+// runs it or in what order, which is what lets the parallel coverage
+// engine in internal/learn fan tests out without perturbing results.
 package subsume
 
 import (

@@ -1,0 +1,57 @@
+package autobias
+
+import (
+	"testing"
+)
+
+// TestLearnDeterministicAcrossWorkers: the facade-level guarantee that
+// the Workers knob changes wall-clock only — the learned definition is
+// identical at 1 worker (the exact sequential engine) and at 8.
+func TestLearnDeterministicAcrossWorkers(t *testing.T) {
+	task := uwTask(t, 0.2)
+	r1, err := Learn(task, Options{Method: MethodAutoBias, Seed: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Learn(task, Options{Method: MethodAutoBias, Seed: 2, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Definition.String() != r8.Definition.String() {
+		t.Errorf("definitions diverge across worker counts:\nworkers=1:\n%s\nworkers=8:\n%s",
+			r1.Definition, r8.Definition)
+	}
+	if r1.Clauses != r8.Clauses {
+		t.Errorf("clause counts diverge: %d vs %d", r1.Clauses, r8.Clauses)
+	}
+}
+
+// TestCrossValidateDeterministicAcrossWorkers: k-fold CV — with both
+// fold-level and coverage-level parallelism engaged — reports the same
+// metrics as the sequential run.
+func TestCrossValidateDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross validation is slow")
+	}
+	task := uwTask(t, 0.2)
+	cv1, err := CrossValidate(task, Options{Method: MethodAutoBias, Seed: 3, Workers: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv8, err := CrossValidate(task, Options{Method: MethodAutoBias, Seed: 3, Workers: 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv1.Precision != cv8.Precision || cv1.Recall != cv8.Recall || cv1.F1 != cv8.F1 {
+		t.Errorf("CV metrics diverge across worker counts:\nworkers=1: P=%v R=%v F1=%v\nworkers=8: P=%v R=%v F1=%v",
+			cv1.Precision, cv1.Recall, cv1.F1, cv8.Precision, cv8.Recall, cv8.F1)
+	}
+	if len(cv1.Folds) != len(cv8.Folds) {
+		t.Fatalf("fold counts diverge: %d vs %d", len(cv1.Folds), len(cv8.Folds))
+	}
+	for i := range cv1.Folds {
+		if cv1.Folds[i].Metrics != cv8.Folds[i].Metrics || cv1.Folds[i].Clauses != cv8.Folds[i].Clauses {
+			t.Errorf("fold %d diverges: %+v vs %+v", i, cv1.Folds[i], cv8.Folds[i])
+		}
+	}
+}
