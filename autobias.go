@@ -16,6 +16,7 @@
 package autobias
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -29,6 +30,7 @@ import (
 	"repro/internal/learn"
 	"repro/internal/logic"
 	"repro/internal/query"
+	"repro/internal/report"
 	"repro/internal/subsume"
 )
 
@@ -58,6 +60,34 @@ type (
 	Metrics = eval.Metrics
 	// CVResult aggregates cross-validation outcomes.
 	CVResult = eval.CVResult
+	// Report records a run's degradation events (deadline hits, recovered
+	// worker panics, abandoned coverage work, exhausted subsumption
+	// budgets); see Result.Report.
+	Report = report.Report
+	// DegradationEvent is one recorded degradation.
+	DegradationEvent = report.Event
+	// DegradationKind classifies degradation events.
+	DegradationKind = report.Kind
+)
+
+// Degradation-event kinds, re-exported from internal/report.
+const (
+	// DegradationDeadlineHit: the run's deadline interrupted learning; the
+	// returned theory is partial.
+	DegradationDeadlineHit = report.DeadlineHit
+	// DegradationPanicRecovered: a coverage worker panicked; the example
+	// was isolated as "not covered" and learning continued.
+	DegradationPanicRecovered = report.PanicRecovered
+	// DegradationCoverageAbandoned: a coverage count stopped early on
+	// cancellation.
+	DegradationCoverageAbandoned = report.CoverageAbandoned
+	// DegradationBottomAbandoned: a bottom-clause construction was
+	// interrupted.
+	DegradationBottomAbandoned = report.BottomAbandoned
+	// DegradationSubsumeBudget: a subsumption test exhausted its node
+	// budget and reported "not covered" (the §5 sound approximation; not
+	// counted by Report.Degraded).
+	DegradationSubsumeBudget = report.SubsumeBudget
 )
 
 // NewSchema creates an empty schema.
@@ -234,14 +264,26 @@ type Result struct {
 	// BiasTime is the bias construction time (IND discovery + Algorithm 3
 	// for MethodAutoBias; ~0 otherwise).
 	BiasTime time.Duration
-	// TimedOut reports that the run hit Options.Timeout.
-	TimedOut bool
+	// TimedOut reports that the run hit its deadline (Options.Timeout or
+	// the caller's ctx); Cancelled that it was interrupted some other way
+	// (e.g. SIGINT through LearnCtx). In both cases Definition holds the
+	// clauses learned before the interruption — anytime semantics.
+	TimedOut  bool
+	Cancelled bool
+	// Report records the run's degradation events; never nil after Learn.
+	Report *Report
 	// Clauses is the number of learned clauses.
 	Clauses int
 
 	covers eval.CoverFunc
 	db     *Database
 }
+
+// Degraded reports whether the run was interrupted or lost work it could
+// not recover exactly (deadline hit, recovered panic, abandoned
+// coverage). Exhausted subsumption budgets alone do not count — they are
+// the paper's by-design approximation.
+func (r *Result) Degraded() bool { return r.Report.Degraded() }
 
 // Covers reports whether the learned definition covers the example,
 // using the same ground-BC + θ-subsumption machinery as training.
@@ -318,6 +360,16 @@ func constantThreshold(opts Options) bias.ConstantThreshold {
 // compile it, learn a definition, and return it with its coverage
 // machinery attached.
 func Learn(task Task, opts Options) (*Result, error) {
+	return LearnCtx(context.Background(), task, opts)
+}
+
+// LearnCtx is Learn under a context. Cancelling ctx (or exceeding
+// Options.Timeout, which bounds the learning phase) interrupts the run
+// mid-primitive — inside an in-flight θ-subsumption search or
+// bottom-clause construction — and returns the best theory learned so
+// far with Result.TimedOut/Cancelled set and the degradation recorded in
+// Result.Report. Interruption is a degraded success, not an error.
+func LearnCtx(ctx context.Context, task Task, opts Options) (*Result, error) {
 	biasStart := time.Now()
 	b, graph, err := BuildBias(task, opts)
 	if err != nil {
@@ -342,12 +394,14 @@ func Learn(task Task, opts Options) (*Result, error) {
 			Seed:          opts.Seed,
 			Workers:       opts.Workers,
 		})
-		def, stats, err := l.Learn(task.Pos, task.Neg)
+		def, stats, err := l.LearnCtx(ctx, task.Pos, task.Neg)
 		if err != nil {
 			return nil, err
 		}
 		res.Definition = def
 		res.TimedOut = stats.TimedOut
+		res.Cancelled = stats.Cancelled
+		res.Report = stats.Report
 		res.Clauses = stats.Clauses
 		res.covers = func(d *Definition, e Example) (bool, error) {
 			return l.Coverage().DefinitionCovers(d, e)
@@ -363,12 +417,14 @@ func Learn(task Task, opts Options) (*Result, error) {
 			Seed:          opts.Seed,
 			Workers:       opts.Workers,
 		})
-		def, stats, err := l.Learn(task.Pos, task.Neg)
+		def, stats, err := l.LearnCtx(ctx, task.Pos, task.Neg)
 		if err != nil {
 			return nil, err
 		}
 		res.Definition = def
 		res.TimedOut = stats.TimedOut
+		res.Cancelled = stats.Cancelled
+		res.Report = stats.Report
 		res.Clauses = stats.Clauses
 		res.covers = func(d *Definition, e Example) (bool, error) {
 			return l.Coverage().DefinitionCovers(d, e)
@@ -383,6 +439,13 @@ func Learn(task Task, opts Options) (*Result, error) {
 // INDs.
 func DiscoverINDs(d *Database, maxError float64) []IND {
 	return ind.Discover(d, ind.Options{MaxError: maxError})
+}
+
+// DiscoverINDsCtx is DiscoverINDs under a context. Cancellation aborts
+// discovery with ctx's error and no partial result — half-validated
+// inclusion counts would admit spurious INDs.
+func DiscoverINDsCtx(ctx context.Context, d *Database, maxError float64) ([]IND, error) {
+	return ind.DiscoverCtx(ctx, d, ind.Options{MaxError: maxError})
 }
 
 // InduceBias runs the full §3 pipeline (the paper's primary
@@ -412,21 +475,28 @@ func RenderTypeGraph(g *TypeGraph, task Task) string {
 // shared read-only database, so up to Options.Workers of them train
 // concurrently; results are identical at every worker count.
 func CrossValidate(task Task, opts Options, k int) (CVResult, error) {
+	return CrossValidateCtx(context.Background(), task, opts, k)
+}
+
+// CrossValidateCtx is CrossValidate under a context: cancellation
+// interrupts in-flight folds (each returns and scores its partial
+// theory) and prevents new folds from starting.
+func CrossValidateCtx(ctx context.Context, task Task, opts Options, k int) (CVResult, error) {
 	folds, err := eval.KFold(task.Pos, task.Neg, k, opts.Seed+100)
 	if err != nil {
 		return CVResult{}, err
 	}
-	trainer := func(fold eval.Fold) (*Definition, eval.CoverFunc, eval.FoldOutcome, error) {
+	trainer := func(ctx context.Context, fold eval.Fold) (*Definition, eval.CoverFunc, eval.FoldOutcome, error) {
 		sub := task
 		sub.Pos, sub.Neg = fold.TrainPos, fold.TrainNeg
-		res, err := Learn(sub, opts)
+		res, err := LearnCtx(ctx, sub, opts)
 		if err != nil {
 			return nil, nil, eval.FoldOutcome{}, err
 		}
-		out := eval.FoldOutcome{Elapsed: res.Elapsed + res.BiasTime, TimedOut: res.TimedOut, Clauses: res.Clauses}
+		out := eval.FoldOutcome{Elapsed: res.Elapsed + res.BiasTime, TimedOut: res.TimedOut, Cancelled: res.Cancelled, Clauses: res.Clauses}
 		return res.Definition, res.covers, out, nil
 	}
-	return eval.CrossValidateParallel(folds, trainer, opts.Workers)
+	return eval.CrossValidateParallelCtx(ctx, folds, trainer, opts.Workers)
 }
 
 func examplesToTuples(examples []Example) []Tuple {

@@ -13,13 +13,19 @@
 //
 // The -pos/-neg files hold one ground fact per line, e.g.
 // "advisedBy(juan,sarita)".
+//
+// Exit codes: 0 success, 1 error, 2 usage error, 3 degraded success — the
+// run timed out (-timeout) or was interrupted (Ctrl-C) and printed the
+// partial definition learned so far.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -62,7 +68,11 @@ func main() {
 		Seed:       *seed,
 		Workers:    *workers,
 	}
-	res, err := autobias.Learn(task, opts)
+	// Ctrl-C cancels the run mid-primitive; the partial definition
+	// learned so far is still printed (anytime semantics).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := autobias.LearnCtx(ctx, task, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "autobias:", err)
 		os.Exit(1)
@@ -70,9 +80,6 @@ func main() {
 	fmt.Printf("%% method=%s sampling=%s bias=%d defs biasTime=%v learnTime=%v clauses=%d\n",
 		*method, strat, res.Bias.Size(), res.BiasTime.Round(time.Millisecond),
 		res.Elapsed.Round(time.Millisecond), res.Clauses)
-	if res.TimedOut {
-		fmt.Println("% WARNING: learning hit its budget; definition is partial")
-	}
 	if res.Definition.Len() == 0 {
 		fmt.Println("% no definition learned")
 	} else {
@@ -84,6 +91,24 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("%% training metrics: precision=%.2f recall=%.2f f1=%.2f\n", m.Precision, m.Recall, m.F1)
+	if code := reportDegradation(os.Stderr, "autobias", res.TimedOut, res.Cancelled, res.Report); code != 0 {
+		os.Exit(code)
+	}
+}
+
+// reportDegradation prints a one-line summary of a timed-out/cancelled
+// run and returns exit code 3, or 0 for a clean run. Shared convention
+// across the cmd/ binaries: 0 ok, 1 error, 2 usage, 3 degraded.
+func reportDegradation(w *os.File, prog string, timedOut, cancelled bool, rep *autobias.Report) int {
+	if !timedOut && !cancelled {
+		return 0
+	}
+	why := "cancelled"
+	if timedOut {
+		why = "timed out"
+	}
+	fmt.Fprintf(w, "%s: %s; partial results above [%s]\n", prog, why, rep.Summary())
+	return 3
 }
 
 func buildTask(dataset string, scale float64, seed int64, csvDir, target, attrs, posFile, negFile string) (autobias.Task, error) {

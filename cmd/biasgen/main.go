@@ -9,12 +9,17 @@
 //	biasgen -dataset uw            # print the induced bias
 //	biasgen -dataset uw -graph     # print the Figure 1 type graph
 //	biasgen -count                 # manual vs induced counts, all datasets
+//
+// Exit codes: 0 success, 1 error, 3 interrupted (Ctrl-C during -count;
+// rows produced so far stay printed).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"text/tabwriter"
 
 	autobias "repro"
@@ -31,9 +36,15 @@ func main() {
 	flag.Parse()
 
 	if *count {
-		if err := printCounts(*scale, *seed, *approx, *threshold); err != nil {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if err := printCounts(ctx, *scale, *seed, *approx, *threshold); err != nil {
 			fmt.Fprintln(os.Stderr, "biasgen:", err)
 			os.Exit(1)
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "biasgen: interrupted; counts above are partial")
+			os.Exit(3)
 		}
 		return
 	}
@@ -60,10 +71,13 @@ func main() {
 	fmt.Print(b.String())
 }
 
-func printCounts(scale float64, seed int64, approx, threshold float64) error {
+func printCounts(ctx context.Context, scale float64, seed int64, approx, threshold float64) error {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "dataset\tmanual defs\tinduced defs\tratio")
 	for _, name := range autobias.DatasetNames() {
+		if ctx.Err() != nil {
+			break
+		}
 		ds, err := autobias.GenerateDataset(name, scale, seed)
 		if err != nil {
 			return err

@@ -10,12 +10,17 @@
 //	datasetgen -dataset uw -out ./uwdata
 //	autobias -csv ./uwdata/db -target advisedBy -attrs stud,prof \
 //	         -pos ./uwdata/pos.txt -neg ./uwdata/neg.txt
+//
+// Exit codes: 0 success, 1 error, 3 interrupted (Ctrl-C; the output
+// directory may be incomplete and should be discarded).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -33,18 +38,30 @@ func main() {
 	if dir == "" {
 		dir = "./" + *dataset + "-data"
 	}
-	if err := run(*dataset, *scale, *seed, dir); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *dataset, *scale, *seed, dir); err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "datasetgen: interrupted; %s is incomplete, discard it\n", dir)
+			os.Exit(3)
+		}
 		fmt.Fprintln(os.Stderr, "datasetgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset string, scale float64, seed int64, dir string) error {
+func run(ctx context.Context, dataset string, scale float64, seed int64, dir string) error {
 	ds, err := autobias.GenerateDataset(dataset, scale, seed)
 	if err != nil {
 		return err
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := ds.DB.WriteCSVDir(filepath.Join(dir, "db")); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	writeExamples := func(name string, examples []autobias.Example) error {

@@ -17,13 +17,19 @@
 //	experiments -table 5
 //	experiments -table 6 -quick
 //	experiments -table all -md EXPERIMENTS_DATA.md
+//
+// Exit codes: 0 success, 1 error, 3 interrupted (Ctrl-C) — the rows
+// produced so far were printed; per-fold budget exhaustion is part of
+// the protocol (the ">" rows) and does not change the exit code.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -73,17 +79,25 @@ func main() {
 		out = io.MultiWriter(os.Stdout, f)
 	}
 
+	// Ctrl-C interrupts the sweep mid-primitive; in-flight folds return
+	// their partial theories, completed rows stay printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	if *table == "5" || *table == "all" {
-		if err := runTable5(out, names, cfg); err != nil {
+		if err := runTable5(ctx, out, names, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
 	}
 	if *table == "6" || *table == "all" {
-		if err := runTable6(out, names, cfg); err != nil {
+		if err := runTable6(ctx, out, names, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted; tables above are partial")
+		os.Exit(3)
 	}
 }
 
@@ -129,8 +143,8 @@ func (c cell) time(budget time.Duration) string {
 	return c.t.Round(10 * time.Millisecond).String()
 }
 
-func runCell(task autobias.Task, opts autobias.Options, k int) (cell, error) {
-	cv, err := autobias.CrossValidate(task, opts, k)
+func runCell(ctx context.Context, task autobias.Task, opts autobias.Options, k int) (cell, error) {
+	cv, err := autobias.CrossValidateCtx(ctx, task, opts, k)
 	if err != nil {
 		return cell{}, err
 	}
@@ -142,7 +156,7 @@ func runCell(task autobias.Task, opts autobias.Options, k int) (cell, error) {
 }
 
 // runTable5 reproduces Table 5: five bias-setting methods per dataset.
-func runTable5(out io.Writer, names []string, cfg config) error {
+func runTable5(ctx context.Context, out io.Writer, names []string, cfg config) error {
 	methods := autobias.Methods()
 	fmt.Fprintf(out, "\n## Table 5: methods of setting language bias (scale=%.2f, budget=%v)\n\n", cfg.scale, cfg.timeout)
 	header := "| Data | Measure |"
@@ -175,7 +189,7 @@ func runTable5(out io.Writer, names []string, cfg config) error {
 			if m == autobias.MethodAutoBias {
 				opts.INDs = inds
 			}
-			c, err := runCell(task, opts, k)
+			c, err := runCell(ctx, task, opts, k)
 			if err != nil {
 				return err
 			}
@@ -200,7 +214,7 @@ func runTable5(out io.Writer, names []string, cfg config) error {
 
 // runTable6 reproduces Table 6: sampling techniques under the AutoBias
 // bias, with random/stratified averaged over cfg.reps runs.
-func runTable6(out io.Writer, names []string, cfg config) error {
+func runTable6(ctx context.Context, out io.Writer, names []string, cfg config) error {
 	strategies := []autobias.Sampling{autobias.SamplingNaive, autobias.SamplingRandom, autobias.SamplingStratified}
 	fmt.Fprintf(out, "\n## Table 6: sampling techniques (scale=%.2f, reps=%d, budget=%v)\n\n", cfg.scale, cfg.reps, cfg.timeout)
 	fmt.Fprintln(out, "| Data | Measure | Naive | Random | Stratified |")
@@ -234,7 +248,7 @@ func runTable6(out io.Writer, names []string, cfg config) error {
 					INDs:     inds,
 					Workers:  cfg.workers,
 				}
-				c, err := runCell(task, opts, k)
+				c, err := runCell(ctx, task, opts, k)
 				if err != nil {
 					return err
 				}

@@ -7,12 +7,19 @@
 //
 //	indiscover -dataset imdb
 //	indiscover -csv ./mydata -approx 0.5
+//
+// Exit codes: 0 success, 1 error, 2 usage error, 3 interrupted (Ctrl-C;
+// no partial INDs are printed — half-validated inclusion counts would
+// report spurious dependencies).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	autobias "repro"
@@ -49,9 +56,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	start := time.Now()
-	inds := autobias.DiscoverINDs(d, *approx)
+	inds, err := autobias.DiscoverINDsCtx(ctx, d, *approx)
 	elapsed := time.Since(start)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "indiscover: interrupted after %v; discovery aborted\n", elapsed.Round(time.Millisecond))
+			os.Exit(3)
+		}
+		fmt.Fprintln(os.Stderr, "indiscover:", err)
+		os.Exit(1)
+	}
 
 	exact := 0
 	for _, i := range inds {

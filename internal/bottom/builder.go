@@ -12,11 +12,13 @@
 package bottom
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/bias"
 	"repro/internal/db"
+	"repro/internal/faultpoint"
 	"repro/internal/logic"
 )
 
@@ -91,6 +93,25 @@ type Builder struct {
 	bias *bias.Compiled
 	opts Options
 	rng  *rand.Rand
+	// done is the cancellation channel of the build in progress (nil
+	// between builds). Builders are single-goroutine by contract (see
+	// above), so holding per-build state here lets the samplers' deep
+	// recursions poll cancellation without threading a ctx through
+	// every signature.
+	done <-chan struct{}
+}
+
+// interrupted reports whether the current build's context is done.
+func (b *Builder) interrupted() bool {
+	if b.done == nil {
+		return false
+	}
+	select {
+	case <-b.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // NewBuilder returns a builder for the database and compiled bias.
@@ -120,23 +141,49 @@ func (b *Builder) Options() Options { return b.opts }
 // Construct builds the (variabilized) bottom clause for the example,
 // which must be a ground literal of the target relation.
 func (b *Builder) Construct(example logic.Literal) (*logic.Clause, error) {
-	return b.build(example, false)
+	return b.ConstructCtx(context.Background(), example)
+}
+
+// ConstructCtx is Construct with cancellation: a done ctx interrupts the
+// sampling traversal mid-build and returns the ctx's error. An
+// interrupted build returns no clause — callers that want anytime
+// behavior stop learning and keep what earlier builds produced.
+func (b *Builder) ConstructCtx(ctx context.Context, example logic.Literal) (*logic.Clause, error) {
+	return b.build(ctx, example, false)
 }
 
 // ConstructGround builds the ground bottom clause for the example, used
 // by θ-subsumption coverage testing (§5): the same reachable tuples, with
 // constants kept.
 func (b *Builder) ConstructGround(example logic.Literal) (*logic.Clause, error) {
-	return b.build(example, true)
+	return b.ConstructGroundCtx(context.Background(), example)
 }
 
-func (b *Builder) build(example logic.Literal, ground bool) (*logic.Clause, error) {
+// ConstructGroundCtx is ConstructGround with cancellation.
+func (b *Builder) ConstructGroundCtx(ctx context.Context, example logic.Literal) (*logic.Clause, error) {
+	return b.build(ctx, example, true)
+}
+
+func (b *Builder) build(ctx context.Context, example logic.Literal, ground bool) (*logic.Clause, error) {
 	if example.Predicate != b.bias.Target() {
 		return nil, fmt.Errorf("bottom: example %v is not of target relation %s", example, b.bias.Target())
 	}
 	if !example.IsGround() {
 		return nil, fmt.Errorf("bottom: example %v must be ground", example)
 	}
+	if faultpoint.Enabled() {
+		if err := faultpoint.Inject(ctx, "bottom.construct"); err != nil {
+			return nil, fmt.Errorf("bottom: construct %v: %w", example, err)
+		}
+		// Per-example site for faults that must be a deterministic
+		// function of the example, not of build order.
+		if err := faultpoint.Inject(ctx, "bottom.construct:"+example.String()); err != nil {
+			return nil, fmt.Errorf("bottom: construct %v: %w", example, err)
+		}
+	}
+	b.done = ctx.Done()
+	defer func() { b.done = nil }()
+
 	st := newState(b, ground)
 	st.seedHead(example)
 
@@ -156,11 +203,17 @@ func (b *Builder) build(example logic.Literal, ground bool) (*logic.Clause, erro
 		// semi-join trees); literals are created afterwards in discovery
 		// order so shared constants variabilize consistently.
 		for _, ft := range tuples {
-			if st.full() {
+			if st.full() || b.interrupted() {
 				break
 			}
 			st.addTuple(ft)
 		}
+	}
+	// A build cut short by cancellation must not hand back a truncated
+	// clause as if it were the example's real BC: coverage results built
+	// on it would differ from an uninterrupted run's.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("bottom: construct %v interrupted: %w", example, err)
 	}
 	return st.clause(), nil
 }
@@ -317,7 +370,7 @@ func (b *Builder) naiveTuples(st *state, example logic.Literal) []foundTuple {
 			break
 		}
 		for _, fe := range frontier {
-			if st.full() {
+			if st.full() || b.interrupted() {
 				break
 			}
 			for _, ra := range b.bias.PlusTargets(fe.types) {

@@ -28,11 +28,11 @@ func (b *Builder) randomTuples(example logic.Literal) []foundTuple {
 // frontier values can semi-join into, then recurses on the sampled
 // tuples' attributes.
 func (b *Builder) expandRandom(values, types []string, depth int, out *[]foundTuple, budget *int) {
-	if depth <= 0 || len(values) == 0 || *budget <= 0 {
+	if depth <= 0 || len(values) == 0 || *budget <= 0 || b.interrupted() {
 		return
 	}
 	for _, ra := range b.bias.PlusTargets(types) {
-		if *budget <= 0 {
+		if *budget <= 0 || b.interrupted() {
 			return
 		}
 		rel := b.db.Relation(ra.Relation)

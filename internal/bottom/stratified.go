@@ -36,7 +36,7 @@ func (b *Builder) stratifiedTuples(example logic.Literal) []foundTuple {
 // stratRec is the StratRec function of Algorithm 4. M is the join-value
 // set flowing down from the parent; iter counts from 1 to Depth.
 func (b *Builder) stratRec(relName string, attr int, m map[string]bool, iter int, budget *int) []foundTuple {
-	if *budget <= 0 {
+	if *budget <= 0 || b.interrupted() {
 		return nil
 	}
 	rel := b.db.Relation(relName)
@@ -137,7 +137,7 @@ func (b *Builder) sampleStrata(relName string, viaAttr int, ir []db.Tuple, budge
 		}
 		sort.Strings(keys) // deterministic stratum order
 		for _, k := range keys {
-			if *budget <= 0 {
+			if *budget <= 0 || b.interrupted() {
 				return out
 			}
 			emit(groups[k])

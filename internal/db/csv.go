@@ -67,35 +67,25 @@ func LoadCSVDir(dir string) (*Database, error) {
 		return nil, fmt.Errorf("db: load csv dir %s: no .csv files", dir)
 	}
 	schema := NewSchema()
-	type loaded struct {
-		name string
-		rows [][]string
-	}
-	var all []loaded
+	var all []csvRelation
 	for _, fn := range files {
 		name := strings.TrimSuffix(fn, ".csv")
-		f, err := os.Open(filepath.Join(dir, fn))
+		l, err := readRelationCSV(filepath.Join(dir, fn), fn)
 		if err != nil {
-			return nil, fmt.Errorf("db: load %s: %w", fn, err)
-		}
-		rows, err := csv.NewReader(f).ReadAll()
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("db: load %s: %w", fn, err)
-		}
-		if len(rows) == 0 {
-			return nil, fmt.Errorf("db: load %s: missing header row", fn)
-		}
-		if err := schema.Add(name, rows[0]...); err != nil {
 			return nil, err
 		}
-		all = append(all, loaded{name: name, rows: rows[1:]})
+		l.name = name
+		if err := schema.Add(name, l.rows[0]...); err != nil {
+			return nil, fmt.Errorf("db: load %s: line %d: %w", fn, l.lines[0], err)
+		}
+		l.rows, l.lines = l.rows[1:], l.lines[1:]
+		all = append(all, l)
 	}
 	d := New(schema)
 	for _, l := range all {
-		for _, row := range l.rows {
+		for i, row := range l.rows {
 			if err := d.Insert(l.name, row...); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("db: load %s.csv: line %d: %w", l.name, l.lines[i], err)
 			}
 		}
 	}
@@ -104,4 +94,53 @@ func LoadCSVDir(dir string) (*Database, error) {
 	// paying first-touch index construction under the relation locks.
 	d.BuildIndexes()
 	return d, nil
+}
+
+// readRelationCSV reads one relation file record by record, tracking
+// source line numbers. Every malformed row is an error naming the file
+// and line — a truncated or ragged data file must fail the load, never
+// silently shrink the relation (a shrunken relation would quietly skew
+// IND discovery and coverage sampling downstream). The first returned
+// row is the header; the row arity check is against it, with csv's own
+// per-record check disabled so the error carries our file/line framing.
+func readRelationCSV(path, fn string) (csvRelation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return csvRelation{}, fmt.Errorf("db: load %s: %w", fn, err)
+	}
+	defer f.Close()
+
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	var out csvRelation
+	arity := -1
+	for {
+		row, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return csvRelation{}, fmt.Errorf("db: load %s: %w", fn, err)
+		}
+		line, _ := r.FieldPos(0)
+		if arity < 0 {
+			arity = len(row)
+		} else if len(row) != arity {
+			return csvRelation{}, fmt.Errorf("db: load %s: line %d: row has %d fields, want %d", fn, line, len(row), arity)
+		}
+		out.rows = append(out.rows, row)
+		out.lines = append(out.lines, line)
+	}
+	if len(out.rows) == 0 {
+		return csvRelation{}, fmt.Errorf("db: load %s: empty file (missing header row)", fn)
+	}
+	return out, nil
+}
+
+// csvRelation is one parsed relation file: raw rows (header first) with
+// their 1-based source line numbers.
+type csvRelation struct {
+	name  string
+	rows  [][]string
+	lines []int
 }

@@ -1,0 +1,108 @@
+package db
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCSVFiles materializes a map of filename → content in a temp dir.
+func writeCSVFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// A short row must fail the whole load with an error naming the file and
+// the 1-based source line — never silently truncate the relation.
+func TestLoadCSVShortRow(t *testing.T) {
+	dir := writeCSVFiles(t, map[string]string{
+		"student.csv": "id,phase\ns1,pre\ns2\ns3,post\n",
+	})
+	_, err := LoadCSVDir(dir)
+	if err == nil {
+		t.Fatal("short row must fail the load")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "student.csv") {
+		t.Errorf("error must name the file: %v", err)
+	}
+	if !strings.Contains(msg, "line 3") {
+		t.Errorf("error must name line 3: %v", err)
+	}
+}
+
+func TestLoadCSVLongRow(t *testing.T) {
+	dir := writeCSVFiles(t, map[string]string{
+		"prof.csv": "id\np1\np2,extra,fields\n",
+	})
+	_, err := LoadCSVDir(dir)
+	if err == nil {
+		t.Fatal("over-long row must fail the load")
+	}
+	if !strings.Contains(err.Error(), "prof.csv") || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error must name prof.csv line 3: %v", err)
+	}
+}
+
+func TestLoadCSVEmptyFile(t *testing.T) {
+	dir := writeCSVFiles(t, map[string]string{
+		"ok.csv":    "id\nx1\n",
+		"empty.csv": "",
+	})
+	_, err := LoadCSVDir(dir)
+	if err == nil {
+		t.Fatal("empty file must fail the load")
+	}
+	if !strings.Contains(err.Error(), "empty.csv") {
+		t.Errorf("error must name empty.csv: %v", err)
+	}
+}
+
+// A header-only file is a legal empty relation.
+func TestLoadCSVHeaderOnly(t *testing.T) {
+	dir := writeCSVFiles(t, map[string]string{
+		"student.csv": "id,phase\n",
+	})
+	d, err := LoadCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := d.Relation("student"); r == nil || r.Len() != 0 {
+		t.Fatalf("want empty student relation, got %+v", d.Relation("student"))
+	}
+}
+
+// Quoted fields spanning lines must still report the record's starting
+// line on arity mismatch.
+func TestLoadCSVQuotedFieldLineNumbers(t *testing.T) {
+	dir := writeCSVFiles(t, map[string]string{
+		"note.csv": "id,text\nn1,\"line one\nline two\"\nn2\n",
+	})
+	_, err := LoadCSVDir(dir)
+	if err == nil {
+		t.Fatal("short row after multi-line field must fail")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error must name line 4 (after the quoted field): %v", err)
+	}
+}
+
+func TestLoadCSVBareQuoteError(t *testing.T) {
+	dir := writeCSVFiles(t, map[string]string{
+		"bad.csv": "id\n\"unterminated\n",
+	})
+	_, err := LoadCSVDir(dir)
+	if err == nil {
+		t.Fatal("malformed quoting must fail the load")
+	}
+	if !strings.Contains(err.Error(), "bad.csv") {
+		t.Errorf("error must name the file: %v", err)
+	}
+}

@@ -4,6 +4,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -119,7 +120,10 @@ type FoldOutcome struct {
 	Metrics  Metrics
 	Elapsed  time.Duration
 	TimedOut bool
-	Clauses  int
+	// Cancelled reports the fold's run was interrupted by a non-deadline
+	// cancellation (e.g. SIGINT); its metrics score the partial theory.
+	Cancelled bool
+	Clauses   int
 }
 
 // CVResult aggregates fold outcomes, reporting means as the paper does.
@@ -129,21 +133,26 @@ type CVResult struct {
 	Precision, Recall, F1 float64
 	MeanTime              time.Duration
 	// TimedOut is set when any fold hit its budget (the paper reports
-	// these runs as ">10h" or "-").
-	TimedOut bool
+	// these runs as ">10h" or "-"); Cancelled when any fold was
+	// cancelled.
+	TimedOut  bool
+	Cancelled bool
 }
 
 // Trainer learns a definition from one fold's training data and returns
 // it with a cover function for scoring and run metadata. Trainers passed
 // to CrossValidateParallel with more than one worker must be safe to
 // call concurrently (independent learner state per call, shared inputs
-// read-only).
-type Trainer func(fold Fold) (*logic.Definition, CoverFunc, FoldOutcome, error)
+// read-only). The context carries the caller's cancellation: a cancelled
+// trainer should return its partial theory with the outcome's
+// TimedOut/Cancelled set rather than an error, so every started fold
+// still scores.
+type Trainer func(ctx context.Context, fold Fold) (*logic.Definition, CoverFunc, FoldOutcome, error)
 
 // CrossValidate runs the trainer over every fold sequentially and
 // averages.
 func CrossValidate(folds []Fold, train Trainer) (CVResult, error) {
-	return CrossValidateParallel(folds, train, 1)
+	return CrossValidateParallelCtx(context.Background(), folds, train, 1)
 }
 
 // CrossValidateParallel trains up to workers folds concurrently
@@ -155,6 +164,14 @@ func CrossValidate(folds []Fold, train Trainer) (CVResult, error) {
 // scheduling. On error the first failing fold (lowest index) wins and
 // no new folds are started.
 func CrossValidateParallel(folds []Fold, train Trainer, workers int) (CVResult, error) {
+	return CrossValidateParallelCtx(context.Background(), folds, train, workers)
+}
+
+// CrossValidateParallelCtx is CrossValidateParallel under a context. The
+// ctx is handed to every trainer call; cancellation therefore interrupts
+// in-flight folds mid-primitive (they return partial theories, flagged in
+// their outcomes) and no new folds start once ctx is done.
+func CrossValidateParallelCtx(ctx context.Context, folds []Fold, train Trainer, workers int) (CVResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -163,6 +180,7 @@ func CrossValidateParallel(folds []Fold, train Trainer, workers int) (CVResult, 
 	}
 
 	outcomes := make([]FoldOutcome, len(folds))
+	started := make([]bool, len(folds))
 	errs := make([]error, len(folds))
 	var next atomic.Int64
 	var stop atomic.Bool
@@ -173,10 +191,11 @@ func CrossValidateParallel(folds []Fold, train Trainer, workers int) (CVResult, 
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(folds) || stop.Load() {
+				if i >= len(folds) || stop.Load() || ctx.Err() != nil {
 					return
 				}
-				def, covers, outcome, err := train(folds[i])
+				started[i] = true
+				def, covers, outcome, err := train(ctx, folds[i])
 				if err == nil {
 					var m Metrics
 					m, err = Evaluate(covers, def, folds[i].TestPos, folds[i].TestNeg)
@@ -199,15 +218,22 @@ func CrossValidateParallel(folds []Fold, train Trainer, workers int) (CVResult, 
 	}
 
 	var res CVResult
-	for _, outcome := range outcomes {
+	for i, outcome := range outcomes {
+		if !started[i] {
+			// ctx was cancelled before this fold began; report the run as
+			// cancelled rather than averaging in a zero outcome.
+			res.Cancelled = true
+			continue
+		}
 		res.Folds = append(res.Folds, outcome)
 		res.Precision += outcome.Metrics.Precision
 		res.Recall += outcome.Metrics.Recall
 		res.F1 += outcome.Metrics.F1
 		res.MeanTime += outcome.Elapsed
 		res.TimedOut = res.TimedOut || outcome.TimedOut
+		res.Cancelled = res.Cancelled || outcome.Cancelled
 	}
-	k := float64(len(folds))
+	k := float64(len(res.Folds))
 	if k > 0 {
 		res.Precision /= k
 		res.Recall /= k

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -151,7 +152,7 @@ func TestCrossValidate(t *testing.T) {
 	}
 	// A trainer whose "definition" covers every positive and no negative:
 	// per-fold metrics are perfect.
-	trainer := func(fold Fold) (*logic.Definition, CoverFunc, FoldOutcome, error) {
+	trainer := func(_ context.Context, fold Fold) (*logic.Definition, CoverFunc, FoldOutcome, error) {
 		def := &logic.Definition{Target: "t"}
 		covers := func(d *logic.Definition, e logic.Literal) (bool, error) {
 			return e.Terms[0].Name[0] == 'p', nil
@@ -176,7 +177,7 @@ func TestCrossValidate(t *testing.T) {
 func TestCrossValidateTimeoutPropagates(t *testing.T) {
 	pos, neg := examples("p", 4), examples("n", 4)
 	folds, _ := KFold(pos, neg, 2, 1)
-	trainer := func(fold Fold) (*logic.Definition, CoverFunc, FoldOutcome, error) {
+	trainer := func(_ context.Context, fold Fold) (*logic.Definition, CoverFunc, FoldOutcome, error) {
 		covers := func(d *logic.Definition, e logic.Literal) (bool, error) { return false, nil }
 		return &logic.Definition{}, covers, FoldOutcome{TimedOut: true}, nil
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync/atomic"
@@ -14,7 +15,7 @@ import (
 // test example iff the example's first constant also appears among the
 // fold's training positives, so metrics depend only on the fold split.
 func fakeTrainer(delay time.Duration) Trainer {
-	return func(fold Fold) (*logic.Definition, CoverFunc, FoldOutcome, error) {
+	return func(_ context.Context, fold Fold) (*logic.Definition, CoverFunc, FoldOutcome, error) {
 		if delay > 0 {
 			time.Sleep(delay)
 		}
@@ -73,11 +74,11 @@ func TestCrossValidateParallelError(t *testing.T) {
 	}
 	var calls atomic.Int64
 	boom := fmt.Errorf("boom")
-	trainer := func(fold Fold) (*logic.Definition, CoverFunc, FoldOutcome, error) {
+	trainer := func(_ context.Context, fold Fold) (*logic.Definition, CoverFunc, FoldOutcome, error) {
 		if calls.Add(1) == 2 {
 			return nil, nil, FoldOutcome{}, boom
 		}
-		return fakeTrainer(0)(fold)
+		return fakeTrainer(0)(context.Background(), fold)
 	}
 	if _, err := CrossValidateParallel(folds, trainer, 2); err == nil {
 		t.Fatal("expected the failing fold's error to surface")

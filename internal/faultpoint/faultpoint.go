@@ -1,0 +1,160 @@
+// Package faultpoint is a named-site fault injector for testing the
+// system's degradation paths. Production code marks interesting sites
+// with Inject(ctx, "site.name"); tests arm faults at those sites —
+// deterministic delays, errors, or panics, keyed by site name and hit
+// count — and assert that cancellation, anytime results, and panic
+// isolation behave as specified.
+//
+// The injector is zero-cost when disabled: Inject first reads one
+// package-level atomic bool and returns immediately when no fault has
+// ever been armed, so shipping the sites in hot paths (coverage tests,
+// bottom-clause construction, subsumption) costs roughly one predictable
+// branch. Hot call sites that would need to build a dynamic site name
+// (for example a per-example suffix) should guard the string work with
+// Enabled().
+//
+// Faults are deterministic: each armed site counts its hits under a
+// lock, and the fault fires on an exact hit window (After ≤ hit <
+// After+Times), never on wall-clock or scheduling. That is what lets
+// tests assert bit-identical results at different worker counts while a
+// fault is armed — provided the site name identifies the logical unit of
+// work (e.g. includes the example key) rather than the call order.
+package faultpoint
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault describes what happens when an armed site is hit.
+type Fault struct {
+	// Delay sleeps before returning (context-aware: a cancelled ctx cuts
+	// the sleep short and Inject returns ctx's error).
+	Delay time.Duration
+	// Err, when non-nil, is returned by Inject (wrapped in *Error).
+	Err error
+	// Panic, when non-empty, panics with *Panic carrying this message.
+	Panic string
+	// After is the first hit (1-based) that triggers; 0 means 1 (every
+	// hit from the first).
+	After int
+	// Times is how many consecutive hits trigger; 0 means unlimited.
+	Times int
+}
+
+// Error is the error an armed Err fault injects, identifying its site.
+type Error struct {
+	Site string
+	Err  error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("faultpoint %s: %v", e.Site, e.Err) }
+func (e *Error) Unwrap() error { return e.Err }
+
+// Panic is the value an armed Panic fault panics with.
+type Panic struct {
+	Site string
+	Msg  string
+}
+
+func (p *Panic) String() string { return fmt.Sprintf("faultpoint %s: %s", p.Site, p.Msg) }
+
+type site struct {
+	fault Fault
+	hits  int
+}
+
+var (
+	armed atomic.Bool // fast path: true iff any site is armed
+	mu    sync.Mutex
+	sites map[string]*site
+)
+
+// Enabled reports whether any fault is armed. Hot call sites use it to
+// skip building dynamic site names when the injector is off.
+func Enabled() bool { return armed.Load() }
+
+// Enable arms a fault at the named site, replacing any previous fault
+// there (and resetting its hit count).
+func Enable(name string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if sites == nil {
+		sites = make(map[string]*site)
+	}
+	sites[name] = &site{fault: f}
+	armed.Store(true)
+}
+
+// Disable disarms the named site.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(sites, name)
+	armed.Store(len(sites) > 0)
+}
+
+// Reset disarms every site. Tests defer it.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	sites = nil
+	armed.Store(false)
+}
+
+// Hits returns how many times the named site has been hit since it was
+// armed (0 when not armed).
+func Hits(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if s := sites[name]; s != nil {
+		return s.hits
+	}
+	return 0
+}
+
+// Inject is the production-side hook. When the named site is armed and
+// the hit falls in the fault's window it sleeps, returns an error, or
+// panics as configured; otherwise it returns nil immediately.
+func Inject(ctx context.Context, name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	mu.Lock()
+	s := sites[name]
+	if s == nil {
+		mu.Unlock()
+		return nil
+	}
+	s.hits++
+	f := s.fault
+	hit := s.hits
+	mu.Unlock()
+
+	after := f.After
+	if after <= 0 {
+		after = 1
+	}
+	if hit < after || (f.Times > 0 && hit >= after+f.Times) {
+		return nil
+	}
+	if f.Delay > 0 {
+		t := time.NewTimer(f.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if f.Panic != "" {
+		panic(&Panic{Site: name, Msg: f.Panic})
+	}
+	if f.Err != nil {
+		return &Error{Site: name, Err: f.Err}
+	}
+	return nil
+}

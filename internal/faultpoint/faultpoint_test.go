@@ -1,0 +1,96 @@
+package faultpoint
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoop(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("Enabled() after Reset")
+	}
+	if err := Inject(context.Background(), "anything"); err != nil {
+		t.Fatalf("Inject on disarmed injector: %v", err)
+	}
+}
+
+func TestErrorFault(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("boom")
+	Enable("site.a", Fault{Err: sentinel})
+	err := Inject(context.Background(), "site.a")
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want wrapped sentinel", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Site != "site.a" {
+		t.Fatalf("error does not carry site: %v", err)
+	}
+	// Other sites stay clean.
+	if err := Inject(context.Background(), "site.b"); err != nil {
+		t.Fatalf("unarmed site injected: %v", err)
+	}
+}
+
+func TestHitWindow(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("boom")
+	Enable("site.w", Fault{Err: sentinel, After: 3, Times: 2})
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if Inject(context.Background(), "site.w") != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 4 {
+		t.Fatalf("fired on hits %v, want [3 4]", fired)
+	}
+	if got := Hits("site.w"); got != 6 {
+		t.Fatalf("Hits = %d, want 6", got)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	defer Reset()
+	Enable("site.p", Fault{Panic: "kaboom"})
+	defer func() {
+		r := recover()
+		p, ok := r.(*Panic)
+		if !ok || p.Site != "site.p" || p.Msg != "kaboom" {
+			t.Fatalf("recovered %v, want *Panic{site.p, kaboom}", r)
+		}
+	}()
+	Inject(context.Background(), "site.p")
+	t.Fatal("Inject did not panic")
+}
+
+func TestDelayRespectsContext(t *testing.T) {
+	defer Reset()
+	Enable("site.d", Fault{Delay: 5 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Inject(ctx, "site.d")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("delay ignored cancellation, took %v", elapsed)
+	}
+}
+
+func TestDisableAndReset(t *testing.T) {
+	Enable("site.x", Fault{Err: errors.New("x")})
+	Disable("site.x")
+	if Enabled() {
+		t.Fatal("Enabled() true after last site disabled")
+	}
+	Enable("site.y", Fault{Err: errors.New("y")})
+	Reset()
+	if err := Inject(context.Background(), "site.y"); err != nil {
+		t.Fatalf("Inject after Reset: %v", err)
+	}
+}

@@ -10,6 +10,8 @@
 package foil
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"runtime"
@@ -21,6 +23,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/learn"
 	"repro/internal/logic"
+	"repro/internal/report"
 	"repro/internal/subsume"
 )
 
@@ -88,7 +91,13 @@ type Stats struct {
 	Clauses        int
 	CandidatesSeen int
 	Elapsed        time.Duration
-	TimedOut       bool
+	// TimedOut / Cancelled mirror the bottom-up learner: the run was
+	// interrupted by a deadline or explicit cancellation and the returned
+	// definition holds the clauses learned so far.
+	TimedOut  bool
+	Cancelled bool
+	// Report records the run's degradation events. Never nil.
+	Report *report.Report
 }
 
 // Learner is the top-down learner.
@@ -118,15 +127,45 @@ func New(d *db.Database, c *bias.Compiled, opts Options) *Learner {
 // Coverage exposes the coverage engine for evaluation.
 func (l *Learner) Coverage() *learn.CoverageEngine { return l.cover }
 
-// Learn runs sequential covering with top-down clause construction.
+// Learn runs sequential covering under Options.Timeout alone.
 func (l *Learner) Learn(pos, neg []learn.Example) (*logic.Definition, *Stats, error) {
+	return l.LearnCtx(context.Background(), pos, neg)
+}
+
+// isCtxErr reports a context cancellation or deadline error.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// LearnCtx runs sequential covering with top-down clause construction.
+// Cancellation semantics match the bottom-up learner: the run stops
+// mid-primitive, returns the theory learned so far, and records the
+// interruption in Stats (TimedOut/Cancelled + Report).
+func (l *Learner) LearnCtx(ctx context.Context, pos, neg []learn.Example) (*logic.Definition, *Stats, error) {
 	start := time.Now()
-	deadline := time.Time{}
 	if l.opts.Timeout > 0 {
-		deadline = start.Add(l.opts.Timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, l.opts.Timeout)
+		defer cancel()
 	}
-	stats := &Stats{}
+	rep := report.New()
+	l.cover.SetReport(rep)
+	stats := &Stats{Report: rep}
 	def := &logic.Definition{Target: l.bias.Target()}
+	noteStop := func(where string) {
+		if ctx.Err() == context.DeadlineExceeded {
+			stats.TimedOut = true
+		} else {
+			stats.Cancelled = true
+		}
+		if rep.Count(report.DeadlineHit) == 0 {
+			rep.Add(report.Event{
+				Kind:   report.DeadlineHit,
+				Site:   "foil.Learn",
+				Detail: "interrupted during " + where + "; returning clauses learned so far",
+			})
+		}
+	}
 
 	minPos := l.opts.MinPositives
 	if minPos <= 0 {
@@ -138,29 +177,39 @@ func (l *Learner) Learn(pos, neg []learn.Example) (*logic.Definition, *Stats, er
 
 	uncovered := append([]learn.Example(nil), pos...)
 	for len(uncovered) > 0 {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			stats.TimedOut = true
+		if ctx.Err() != nil {
+			noteStop("covering loop")
 			break
 		}
-		clause, err := l.learnClause(uncovered, neg, deadline, stats)
+		clause, err := l.learnClause(ctx, uncovered, neg, stats)
 		if err != nil {
+			if isCtxErr(err) {
+				noteStop("learnClause")
+				break
+			}
 			return nil, nil, err
 		}
 		keep := false
 		if clause != nil && len(clause.Body) > 0 {
-			p, err := l.cover.Count(clause, sample(l.rng, uncovered, l.opts.EvalSampleCap))
+			p, err := l.cover.CountCtx(ctx, clause, sample(l.rng, uncovered, l.opts.EvalSampleCap))
+			if err == nil {
+				var n int
+				n, err = l.cover.CountCtx(ctx, clause, sample(l.rng, neg, l.opts.EvalSampleCap))
+				if err == nil {
+					prec := 1.0
+					if p+n > 0 {
+						prec = float64(p) / float64(p+n)
+					}
+					keep = p >= minPos && prec >= l.opts.MinPrecision
+				}
+			}
 			if err != nil {
+				if isCtxErr(err) {
+					noteStop("minimum-criterion scoring")
+					break
+				}
 				return nil, nil, err
 			}
-			n, err := l.cover.Count(clause, sample(l.rng, neg, l.opts.EvalSampleCap))
-			if err != nil {
-				return nil, nil, err
-			}
-			prec := 1.0
-			if p+n > 0 {
-				prec = float64(p) / float64(p+n)
-			}
-			keep = p >= minPos && prec >= l.opts.MinPrecision
 		}
 		if !keep {
 			uncovered = uncovered[1:]
@@ -169,14 +218,23 @@ func (l *Learner) Learn(pos, neg []learn.Example) (*logic.Definition, *Stats, er
 		def.Add(clause)
 		stats.Clauses++
 		var still []learn.Example
+		interrupted := false
 		for _, e := range uncovered {
-			ok, err := l.cover.Covers(clause, e)
+			ok, err := l.cover.CoversCtx(ctx, clause, e)
 			if err != nil {
+				if isCtxErr(err) {
+					interrupted = true
+					break
+				}
 				return nil, nil, err
 			}
 			if !ok {
 				still = append(still, e)
 			}
+		}
+		if interrupted {
+			noteStop("covered-positive removal")
+			break
 		}
 		if len(still) == len(uncovered) {
 			// No progress; avoid looping forever.
@@ -189,8 +247,9 @@ func (l *Learner) Learn(pos, neg []learn.Example) (*logic.Definition, *Stats, er
 	return def, stats, nil
 }
 
-// learnClause grows one clause top-down by FOIL gain.
-func (l *Learner) learnClause(pos, neg []learn.Example, deadline time.Time, stats *Stats) (*logic.Clause, error) {
+// learnClause grows one clause top-down by FOIL gain. A ctx error return
+// means the budget interrupted the growth; the caller keeps its theory.
+func (l *Learner) learnClause(ctx context.Context, pos, neg []learn.Example, stats *Stats) (*logic.Clause, error) {
 	head, varTypes, next := l.headLiteral()
 	clause := &logic.Clause{Head: head}
 
@@ -199,8 +258,7 @@ func (l *Learner) learnClause(pos, neg []learn.Example, deadline time.Time, stat
 
 	p0, n0 := len(posSample), len(negSample)
 	for len(clause.Body) < l.opts.MaxClauseLen && n0 > 0 {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			stats.TimedOut = true
+		if ctx.Err() != nil {
 			break
 		}
 		cands := l.candidateLiterals(varTypes, &next)
@@ -212,20 +270,19 @@ func (l *Learner) learnClause(pos, neg []learn.Example, deadline time.Time, stat
 		bestGain := 0.0
 		bestP, bestN := 0, 0
 		for i := range cands {
-			if !deadline.IsZero() && time.Now().After(deadline) {
-				stats.TimedOut = true
+			if ctx.Err() != nil {
 				break
 			}
 			stats.CandidatesSeen++
 			trial := &logic.Clause{Head: clause.Head, Body: append(append([]logic.Literal(nil), clause.Body...), cands[i])}
-			p1, err := l.cover.Count(trial, posSample)
+			p1, err := l.cover.CountCtx(ctx, trial, posSample)
 			if err != nil {
 				return nil, err
 			}
 			if p1 == 0 {
 				continue
 			}
-			n1, err := l.cover.Count(trial, negSample)
+			n1, err := l.cover.CountCtx(ctx, trial, negSample)
 			if err != nil {
 				return nil, err
 			}

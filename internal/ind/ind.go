@@ -10,6 +10,7 @@
 package ind
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -77,12 +78,22 @@ func (o *Options) normalize() {
 // attributes of the same relation are kept, as the paper's UW example
 // (ta[stud] ⊆ student[stud]) requires cross- and intra-relation edges.
 func Discover(d *db.Database, opts Options) []IND {
+	out, _ := DiscoverCtx(context.Background(), d, opts)
+	return out
+}
+
+// DiscoverCtx is Discover under a context, polled once per bucket (the
+// natural unit of Binder's divide step). A cancelled discovery returns
+// (nil, ctx.Err()): partially-validated counts would under-report
+// missing values and admit spurious INDs, so no partial result is
+// offered.
+func DiscoverCtx(ctx context.Context, d *db.Database, opts Options) ([]IND, error) {
 	opts.normalize()
 
 	attrs, distinct := collectAttributes(d, opts.MinDistinct)
 	n := len(attrs)
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
 
 	// missing[a][b] counts distinct values of attribute a absent from b.
@@ -96,6 +107,9 @@ func Discover(d *db.Database, opts Options) []IND {
 	// value→attribute-set map is held in memory at a time, mirroring
 	// Binder's main-memory partitioning.
 	for bucket := 0; bucket < opts.Buckets; bucket++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		valueAttrs := make(map[string][]int)
 		for ai, id := range attrs {
 			rel := d.Relation(id.Relation)
@@ -147,7 +161,7 @@ func Discover(d *db.Database, opts Options) []IND {
 		}
 		return lessAttr(a.To, b.To)
 	})
-	return out
+	return out, nil
 }
 
 // Exact returns only the exact INDs of the database; a convenience for

@@ -1,6 +1,8 @@
 package learn
 
 import (
+	"context"
+
 	"repro/internal/logic"
 	"repro/internal/subsume"
 )
@@ -21,19 +23,28 @@ import (
 // the kept prefix plus that literal still covers the example — n
 // subsumption tests instead of O(k log n) restarted searches.
 func ARMG(c *logic.Clause, ground *logic.Clause, opts subsume.Options) *logic.Clause {
+	return ARMGCtx(context.Background(), c, ground, opts)
+}
+
+// ARMGCtx is ARMG under a context: a cancelled ctx makes the remaining
+// subsumption tests report non-coverage, so the pass degenerates to
+// dropping the literals it had not yet examined and returns quickly. The
+// caller observes the cancellation via ctx and discards the result, so
+// the truncation is harmless — it only bounds how much work is wasted.
+func ARMGCtx(ctx context.Context, c *logic.Clause, ground *logic.Clause, opts subsume.Options) *logic.Clause {
 	head := &logic.Clause{Head: c.Head}
-	if !subsume.Subsumes(head, ground, opts) {
+	if !subsume.SubsumesCtx(ctx, head, ground, opts) {
 		return nil
 	}
 	// Fast path: the clause may already cover the example.
-	if subsume.Subsumes(c, ground, opts) {
+	if subsume.SubsumesCtx(ctx, c, ground, opts) {
 		return c.PruneNotHeadConnected()
 	}
 	kept := make([]logic.Literal, 0, len(c.Body))
 	trial := &logic.Clause{Head: c.Head}
 	for _, lit := range c.Body {
 		trial.Body = append(kept, lit)
-		if subsume.Subsumes(trial, ground, opts) {
+		if subsume.SubsumesCtx(ctx, trial, ground, opts) {
 			kept = trial.Body
 		}
 	}

@@ -5,6 +5,8 @@
 package learn
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -12,7 +14,9 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bottom"
+	"repro/internal/faultpoint"
 	"repro/internal/logic"
+	"repro/internal/report"
 	"repro/internal/subsume"
 )
 
@@ -44,6 +48,16 @@ type Example = logic.Literal
 //     touches the shared builder: it clones it with a seed derived from
 //     the example, so the constructed BC is a deterministic function of
 //     the example, not of goroutine scheduling.
+//
+// Bounded execution: every entry point has a Ctx variant. Cancellation
+// reaches into the running primitives — the subsumption node-budget
+// loop and BC construction — so a deadline interrupts coverage
+// mid-test, not at the next example boundary. A panic inside one
+// example's test (a bug, or a fault injected via internal/faultpoint)
+// is recovered and isolated to that (clause, example) pair, which
+// deterministically scores "not covered": learning continues, the
+// outcome is identical at every worker count, and the degradation is
+// recorded on the engine's Report.
 type CoverageEngine struct {
 	builder *bottom.Builder
 	subOpts subsume.Options
@@ -58,11 +72,16 @@ type CoverageEngine struct {
 	cache   map[string]*logic.Clause
 	// results memoizes Covers outcomes by clause identity. Clauses are
 	// immutable once built by the learner, so pointer identity is a safe
-	// and allocation-free key.
+	// and allocation-free key. Isolated failures memoize false, which is
+	// what keeps a panicking example from perturbing later decisions.
 	results map[*logic.Clause]map[string]bool
 
 	// tests counts subsumption checks, for instrumentation.
 	tests atomic.Int64
+
+	// rep records degradation events (nil = don't record). Stored
+	// atomically so SetReport need not race with in-flight workers.
+	rep atomic.Pointer[report.Report]
 }
 
 // NewCoverage creates an engine over the builder. The subsumption budget
@@ -97,13 +116,47 @@ func (ce *CoverageEngine) SetWorkers(n int) {
 // Workers returns the configured pool bound.
 func (ce *CoverageEngine) Workers() int { return ce.workers }
 
+// SetReport directs degradation events (recovered panics, abandoned
+// counts, exhausted subsumption budgets) to r; nil disables recording.
+func (ce *CoverageEngine) SetReport(r *report.Report) { ce.rep.Store(r) }
+
+// Report returns the engine's current degradation report (may be nil).
+func (ce *CoverageEngine) Report() *report.Report { return ce.rep.Load() }
+
 // TestCount returns how many subsumption checks the engine has run.
 func (ce *CoverageEngine) TestCount() int { return int(ce.tests.Load()) }
+
+// panicErr carries a recovered panic through an error return so the
+// engine can isolate it to the failing example.
+type panicErr struct{ val any }
+
+func (p *panicErr) Error() string { return fmt.Sprintf("recovered panic: %v", p.val) }
+
+// recoverToErr converts a panic in the deferring function into a
+// *panicErr assigned to *errp. It must be deferred directly.
+func recoverToErr(errp *error) {
+	if r := recover(); r != nil {
+		*errp = &panicErr{val: r}
+	}
+}
+
+// isCtxErr reports whether err is the context's cancellation or
+// deadline, possibly wrapped.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // GroundBC returns the cached ground bottom clause for the example,
 // building it with the shared builder (serialized, so concurrent calls
 // never construct the same BC twice nor interleave RNG draws).
 func (ce *CoverageEngine) GroundBC(e Example) (*logic.Clause, error) {
+	return ce.GroundBCCtx(context.Background(), e)
+}
+
+// GroundBCCtx is GroundBC with cancellation: ctx interrupts an in-flight
+// construction. A panic during construction is converted to an error
+// (the callers isolate it per example).
+func (ce *CoverageEngine) GroundBCCtx(ctx context.Context, e Example) (g *logic.Clause, err error) {
 	key := e.String()
 	if g, ok := ce.cachedBC(key); ok {
 		return g, nil
@@ -114,8 +167,12 @@ func (ce *CoverageEngine) GroundBC(e Example) (*logic.Clause, error) {
 	if g, ok := ce.cachedBC(key); ok {
 		return g, nil
 	}
-	g, err := ce.builder.ConstructGround(e)
+	defer recoverToErr(&err)
+	g, err = ce.builder.ConstructGroundCtx(ctx, e)
 	if err != nil {
+		if isCtxErr(err) {
+			ce.recordEvent(report.Event{Kind: report.BottomAbandoned, Site: "bottom.construct", Example: key})
+		}
 		return nil, fmt.Errorf("learn: ground BC for %v: %w", e, err)
 	}
 	ce.storeBC(key, g)
@@ -126,15 +183,19 @@ func (ce *CoverageEngine) GroundBC(e Example) (*logic.Clause, error) {
 // a miss is built on a clone of the builder seeded from the example key,
 // so the result is identical no matter which worker gets there first.
 // (Count prefetches, so this miss path only fires for concurrent
-// external Covers callers.)
-func (ce *CoverageEngine) groundBCPooled(e Example) (*logic.Clause, error) {
+// external Covers callers — or when the prefetch itself was isolated.)
+func (ce *CoverageEngine) groundBCPooled(ctx context.Context, e Example) (g *logic.Clause, err error) {
 	key := e.String()
 	if g, ok := ce.cachedBC(key); ok {
 		return g, nil
 	}
+	defer recoverToErr(&err)
 	b := ce.builder.CloneSeeded(deriveSeed(ce.subOpts.Seed, key))
-	g, err := b.ConstructGround(e)
+	g, err = b.ConstructGroundCtx(ctx, e)
 	if err != nil {
+		if isCtxErr(err) {
+			ce.recordEvent(report.Event{Kind: report.BottomAbandoned, Site: "bottom.construct", Example: key})
+		}
 		return nil, fmt.Errorf("learn: ground BC for %v: %w", e, err)
 	}
 	ce.mu.Lock()
@@ -173,10 +234,16 @@ func deriveSeed(base int64, key string) int64 {
 // memoized per (clause, example): the covering loop and beam scoring
 // revisit the same pairs many times. Safe for concurrent use.
 func (ce *CoverageEngine) Covers(c *logic.Clause, e Example) (bool, error) {
-	return ce.covers(c, e, false)
+	return ce.covers(context.Background(), c, e, false)
 }
 
-func (ce *CoverageEngine) covers(c *logic.Clause, e Example, pooled bool) (bool, error) {
+// CoversCtx is Covers with cancellation; a done ctx returns its error
+// (the outcome of an interrupted test is never memoized).
+func (ce *CoverageEngine) CoversCtx(ctx context.Context, c *logic.Clause, e Example) (bool, error) {
+	return ce.covers(ctx, c, e, false)
+}
+
+func (ce *CoverageEngine) covers(ctx context.Context, c *logic.Clause, e Example, pooled bool) (bool, error) {
 	key := e.String()
 	ce.mu.RLock()
 	v, ok := ce.results[c][key]
@@ -184,18 +251,90 @@ func (ce *CoverageEngine) covers(c *logic.Clause, e Example, pooled bool) (bool,
 	if ok {
 		return v, nil
 	}
-	var g *logic.Clause
-	var err error
-	if pooled {
-		g, err = ce.groundBCPooled(e)
-	} else {
-		g, err = ce.GroundBC(e)
-	}
-	if err != nil {
+	if err := ctx.Err(); err != nil {
 		return false, err
 	}
+	if faultpoint.Enabled() {
+		// Per-example site, so injected worker failures are a
+		// deterministic function of the example — the hit order across
+		// pool workers is not. Injected panics are recovered here, the
+		// same as panics from the test proper.
+		err := func() (err error) {
+			defer recoverToErr(&err)
+			return faultpoint.Inject(ctx, "coverage.test:"+key)
+		}()
+		if err != nil {
+			if isCtxErr(err) {
+				return false, err
+			}
+			var pe *panicErr
+			if !errors.As(err, &pe) {
+				err = &panicErr{val: err}
+			}
+			return ce.isolate(c, key, err)
+		}
+	}
+	v, complete, err := ce.testCovers(ctx, c, e, pooled)
+	if err != nil {
+		var pe *panicErr
+		if errors.As(err, &pe) {
+			// Fault isolation: the failure belongs to this (clause,
+			// example) pair alone. Score it "not covered" (deterministic
+			// at every worker count — the panic is a function of the
+			// pair, not of scheduling) and keep learning.
+			return ce.isolate(c, key, pe)
+		}
+		return false, err
+	}
+	if !complete {
+		ce.recordEvent(report.Event{Kind: report.SubsumeBudget, Site: "subsume.check", Example: key})
+	}
+	ce.memoize(c, key, v)
+	return v, nil
+}
+
+// testCovers runs the actual test — BC fetch plus subsumption — with
+// panics converted to *panicErr. complete reports whether the
+// subsumption answer was exact (§5's approximation note).
+func (ce *CoverageEngine) testCovers(ctx context.Context, c *logic.Clause, e Example, pooled bool) (v, complete bool, err error) {
+	defer recoverToErr(&err)
+	var g *logic.Clause
+	if pooled {
+		g, err = ce.groundBCPooled(ctx, e)
+	} else {
+		g, err = ce.GroundBCCtx(ctx, e)
+	}
+	if err != nil {
+		return false, false, err
+	}
 	ce.tests.Add(1)
-	v = subsume.Subsumes(c, g, ce.subOpts)
+	res := subsume.CheckCtx(ctx, c, g, ce.subOpts)
+	if res.Cancelled {
+		if cerr := ctx.Err(); cerr != nil {
+			return false, false, cerr
+		}
+		// Cancelled without a done ctx: an injected subsume fault; treat
+		// as an ordinary incomplete (sound-negative) answer.
+		return false, false, nil
+	}
+	return res.Subsumes, res.Complete, nil
+}
+
+// isolate records a recovered per-example failure and memoizes "not
+// covered" for the pair so every later visit (and every worker count)
+// sees the same deterministic outcome.
+func (ce *CoverageEngine) isolate(c *logic.Clause, key string, cause error) (bool, error) {
+	ce.recordEvent(report.Event{
+		Kind:    report.PanicRecovered,
+		Site:    "coverage.test",
+		Example: key,
+		Detail:  cause.Error(),
+	})
+	ce.memoize(c, key, false)
+	return false, nil
+}
+
+func (ce *CoverageEngine) memoize(c *logic.Clause, key string, v bool) {
 	ce.mu.Lock()
 	byEx := ce.results[c]
 	if byEx == nil {
@@ -204,14 +343,21 @@ func (ce *CoverageEngine) covers(c *logic.Clause, e Example, pooled bool) (bool,
 	}
 	byEx[key] = v
 	ce.mu.Unlock()
-	return v, nil
 }
+
+func (ce *CoverageEngine) recordEvent(e report.Event) { ce.rep.Load().Add(e) }
 
 // Count returns how many of the examples the clause covers, fanning the
 // subsumption tests across the worker pool. The result is exact and
 // identical at every worker count.
 func (ce *CoverageEngine) Count(c *logic.Clause, examples []Example) (int, error) {
-	return ce.countBounded(c, examples, len(examples)+1)
+	return ce.countBounded(context.Background(), c, examples, len(examples)+1)
+}
+
+// CountCtx is Count with cancellation: a done ctx abandons the count and
+// returns its error (recorded as a coverage-abandoned degradation).
+func (ce *CoverageEngine) CountCtx(ctx context.Context, c *logic.Clause, examples []Example) (int, error) {
+	return ce.countBounded(ctx, c, examples, len(examples)+1)
 }
 
 // CountUpTo counts coverage but lets the pool cancel once the count
@@ -226,10 +372,23 @@ func (ce *CoverageEngine) CountUpTo(c *logic.Clause, examples []Example, limit i
 	if limit < 0 {
 		limit = 0
 	}
-	return ce.countBounded(c, examples, limit)
+	return ce.countBounded(context.Background(), c, examples, limit)
 }
 
-func (ce *CoverageEngine) countBounded(c *logic.Clause, examples []Example, limit int) (int, error) {
+// CountUpToCtx is CountUpTo with cancellation.
+func (ce *CoverageEngine) CountUpToCtx(ctx context.Context, c *logic.Clause, examples []Example, limit int) (int, error) {
+	if limit < 0 {
+		limit = 0
+	}
+	return ce.countBounded(ctx, c, examples, limit)
+}
+
+func (ce *CoverageEngine) countBounded(ctx context.Context, c *logic.Clause, examples []Example, limit int) (int, error) {
+	if faultpoint.Enabled() {
+		if err := faultpoint.Inject(ctx, "coverage.count"); err != nil {
+			return 0, err
+		}
+	}
 	nw := ce.workers
 	if nw > len(examples) {
 		nw = len(examples)
@@ -239,9 +398,9 @@ func (ce *CoverageEngine) countBounded(c *logic.Clause, examples []Example, limi
 		// BC construction and the number of subsumption tests.
 		n := 0
 		for _, e := range examples {
-			ok, err := ce.Covers(c, e)
+			ok, err := ce.covers(ctx, c, e, false)
 			if err != nil {
-				return 0, err
+				return 0, ce.abandoned(err, len(examples))
 			}
 			if ok {
 				n++
@@ -255,10 +414,16 @@ func (ce *CoverageEngine) countBounded(c *logic.Clause, examples []Example, limi
 
 	// Prefetch missing ground BCs sequentially, in slice order, through
 	// the shared builder: bit-identical RNG consumption to the
-	// sequential engine, so parallelism cannot perturb sampled BCs.
+	// sequential engine, so parallelism cannot perturb sampled BCs. A
+	// prefetch isolated by a panic is skipped here — the per-example
+	// pooled fallback re-derives the same deterministic failure.
 	for _, e := range examples {
-		if _, err := ce.GroundBC(e); err != nil {
-			return 0, err
+		if _, err := ce.GroundBCCtx(ctx, e); err != nil {
+			var pe *panicErr
+			if errors.As(err, &pe) {
+				continue
+			}
+			return 0, ce.abandoned(err, len(examples))
 		}
 	}
 
@@ -277,7 +442,7 @@ func (ce *CoverageEngine) countBounded(c *logic.Clause, examples []Example, limi
 				if stop.Load() {
 					return
 				}
-				ok, err := ce.covers(c, examples[i], true)
+				ok, err := ce.covers(ctx, c, examples[i], true)
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
@@ -296,7 +461,7 @@ func (ce *CoverageEngine) countBounded(c *logic.Clause, examples []Example, limi
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return 0, firstErr
+		return 0, ce.abandoned(firstErr, len(examples))
 	}
 	n := int(count.Load())
 	if n > limit {
@@ -308,13 +473,31 @@ func (ce *CoverageEngine) countBounded(c *logic.Clause, examples []Example, limi
 	return n, nil
 }
 
+// abandoned records a coverage-abandoned event when the count died to
+// cancellation, and passes the error through either way.
+func (ce *CoverageEngine) abandoned(err error, total int) error {
+	if isCtxErr(err) {
+		ce.recordEvent(report.Event{
+			Kind:   report.CoverageAbandoned,
+			Site:   "coverage.count",
+			Detail: fmt.Sprintf("count over %d examples interrupted", total),
+		})
+	}
+	return err
+}
+
 // DefinitionCovers reports whether any clause of the definition covers
 // the example. Clauses are tried in order with early exit, matching the
 // sequential engine; the per-clause tests themselves are memoized, so
 // this stays cheap inside evaluation loops.
 func (ce *CoverageEngine) DefinitionCovers(d *logic.Definition, e Example) (bool, error) {
+	return ce.DefinitionCoversCtx(context.Background(), d, e)
+}
+
+// DefinitionCoversCtx is DefinitionCovers with cancellation.
+func (ce *CoverageEngine) DefinitionCoversCtx(ctx context.Context, d *logic.Definition, e Example) (bool, error) {
 	for _, c := range d.Clauses {
-		ok, err := ce.Covers(c, e)
+		ok, err := ce.covers(ctx, c, e, false)
 		if err != nil {
 			return false, err
 		}

@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/bottom"
 	"repro/internal/db"
 	"repro/internal/logic"
+	"repro/internal/report"
 	"repro/internal/subsume"
 )
 
@@ -92,7 +94,16 @@ type Stats struct {
 	CandidatesSeen int
 	CoverageTests  int
 	Elapsed        time.Duration
-	TimedOut       bool
+	// TimedOut reports the run hit its deadline (Options.Timeout or the
+	// caller's ctx deadline); Cancelled reports a non-deadline
+	// cancellation (e.g. SIGINT). Either way the returned definition is
+	// the best theory learned so far — anytime semantics.
+	TimedOut  bool
+	Cancelled bool
+	// Report records every degradation event of the run (deadline hits,
+	// recovered panics, abandoned coverage counts, exhausted subsumption
+	// budgets). Never nil.
+	Report *report.Report
 	// PositivesCovered is how many training positives the final
 	// definition covers.
 	PositivesCovered int
@@ -107,16 +118,20 @@ type Learner struct {
 	opts  Options
 	cover *CoverageEngine
 	rng   *rand.Rand
-	// deadline is the wall-clock budget of the current Learn call; the
-	// zero value means unbounded. Checked in every expensive inner loop
-	// so a budget overrun is bounded by one coverage test, not one beam
+	// ctx is the current Learn call's context; checked in every
+	// expensive inner loop and threaded through coverage, BC
+	// construction, and subsumption, so a budget overrun is bounded by a
+	// few hundred subsumption nodes, not by one coverage test or beam
 	// round (§6's ">10h" budgets need faithful enforcement).
-	deadline time.Time
+	ctx context.Context
+	rep *report.Report
+	// stopNoted dedupes the deadline-hit report event for the run.
+	stopNoted bool
 }
 
 // expired reports whether the current run's budget is exhausted.
 func (l *Learner) expired() bool {
-	return !l.deadline.IsZero() && time.Now().After(l.deadline)
+	return l.ctx != nil && l.ctx.Err() != nil
 }
 
 // New creates a learner over a database and compiled language bias.
@@ -138,18 +153,34 @@ func New(d *db.Database, c *bias.Compiled, opts Options) *Learner {
 // held-out examples with the same ground-BC machinery).
 func (l *Learner) Coverage() *CoverageEngine { return l.cover }
 
-// Learn runs Algorithm 1: repeatedly learn one clause from the uncovered
-// positives, keep it if it meets the minimum criterion, and remove the
-// positives it covers. Seeds whose clauses fail the criterion are set
-// aside so the loop always progresses.
+// Learn runs Algorithm 1 under Options.Timeout alone.
 func (l *Learner) Learn(pos, neg []Example) (*logic.Definition, *Stats, error) {
+	return l.LearnCtx(context.Background(), pos, neg)
+}
+
+// LearnCtx runs Algorithm 1: repeatedly learn one clause from the
+// uncovered positives, keep it if it meets the minimum criterion, and
+// remove the positives it covers. Seeds whose clauses fail the criterion
+// are set aside so the loop always progresses.
+//
+// ctx (tightened by Options.Timeout when set) cancels the run
+// mid-primitive: an in-flight subsumption test, BC construction, or
+// coverage fan-out is interrupted within microseconds, and the clauses
+// learned so far are returned with Stats.TimedOut/Cancelled set and the
+// degradation recorded in Stats.Report. Cancellation is graceful, not an
+// error.
+func (l *Learner) LearnCtx(ctx context.Context, pos, neg []Example) (*logic.Definition, *Stats, error) {
 	start := time.Now()
-	deadline := time.Time{}
 	if l.opts.Timeout > 0 {
-		deadline = start.Add(l.opts.Timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, l.opts.Timeout)
+		defer cancel()
 	}
-	l.deadline = deadline
-	stats := &Stats{}
+	l.ctx = ctx
+	l.rep = report.New()
+	l.stopNoted = false
+	l.cover.SetReport(l.rep)
+	stats := &Stats{Report: l.rep}
 	def := &logic.Definition{Target: l.bias.Target()}
 
 	minPos := l.opts.MinPositives
@@ -162,19 +193,27 @@ func (l *Learner) Learn(pos, neg []Example) (*logic.Definition, *Stats, error) {
 
 	uncovered := append([]Example(nil), pos...)
 	for len(uncovered) > 0 {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			stats.TimedOut = true
+		if l.expired() {
+			l.noteStop(stats, "covering loop")
 			break
 		}
 		seed := uncovered[0]
-		clause, err := l.learnClause(seed, uncovered, neg, deadline, stats)
+		clause, err := l.learnClause(ctx, seed, uncovered, neg, stats)
 		if err != nil {
+			if isCtxErr(err) {
+				l.noteStop(stats, "learnClause")
+				break
+			}
 			return nil, nil, err
 		}
 		keep := false
 		if clause != nil {
-			posCov, negCov, err := l.scoreCounts(clause, uncovered, neg)
+			posCov, negCov, err := l.scoreCounts(ctx, clause, uncovered, neg)
 			if err != nil {
+				if isCtxErr(err) {
+					l.noteStop(stats, "minimum-criterion scoring")
+					break
+				}
 				return nil, nil, err
 			}
 			prec := 1.0
@@ -192,22 +231,38 @@ func (l *Learner) Learn(pos, neg []Example) (*logic.Definition, *Stats, error) {
 		stats.Clauses++
 		// Remove every positive the definition now covers.
 		var still []Example
+		interrupted := false
 		for _, e := range uncovered {
-			ok, err := l.cover.Covers(clause, e)
+			ok, err := l.cover.CoversCtx(ctx, clause, e)
 			if err != nil {
+				if isCtxErr(err) {
+					interrupted = true
+					break
+				}
 				return nil, nil, err
 			}
 			if !ok {
 				still = append(still, e)
 			}
 		}
+		if interrupted {
+			l.noteStop(stats, "covered-positive removal")
+			break
+		}
 		uncovered = still
 	}
 
+	// Final accounting runs under the same ctx: on a timed-out run the
+	// partial theory is returned immediately rather than paying for one
+	// more full coverage pass.
 	covered := 0
 	for _, e := range pos {
-		ok, err := l.cover.DefinitionCovers(def, e)
+		ok, err := l.cover.DefinitionCoversCtx(ctx, def, e)
 		if err != nil {
+			if isCtxErr(err) {
+				l.noteStop(stats, "final coverage accounting")
+				break
+			}
 			return nil, nil, err
 		}
 		if ok {
@@ -220,13 +275,36 @@ func (l *Learner) Learn(pos, neg []Example) (*logic.Definition, *Stats, error) {
 	return def, stats, nil
 }
 
+// noteStop classifies the cancellation (deadline vs explicit cancel),
+// sets the matching stat flag, and records one deadline-hit event.
+func (l *Learner) noteStop(stats *Stats, where string) {
+	if l.ctx.Err() == context.DeadlineExceeded {
+		stats.TimedOut = true
+	} else {
+		stats.Cancelled = true
+	}
+	if !l.stopNoted {
+		l.stopNoted = true
+		l.rep.Add(report.Event{
+			Kind:   report.DeadlineHit,
+			Site:   "learn.Learn",
+			Detail: fmt.Sprintf("interrupted during %s (%v); returning %d clause(s) learned so far", where, l.ctx.Err(), stats.Clauses),
+		})
+	}
+}
+
 // learnClause is the bottom-up LearnClause of §2.3: build the seed's
 // bottom clause, then beam-search over armg generalizations against
-// sampled positives, scoring by pos − neg coverage.
-func (l *Learner) learnClause(seed Example, pos, neg []Example, deadline time.Time, stats *Stats) (*logic.Clause, error) {
+// sampled positives, scoring by pos − neg coverage. A ctx error return
+// means the budget interrupted the search; the caller keeps its theory.
+func (l *Learner) learnClause(ctx context.Context, seed Example, pos, neg []Example, stats *Stats) (*logic.Clause, error) {
 	builder := l.cover.builder
-	bc, err := builder.Construct(seed)
+	bc, err := builder.ConstructCtx(ctx, seed)
 	if err != nil {
+		if isCtxErr(err) {
+			l.rep.Add(report.Event{Kind: report.BottomAbandoned, Site: "bottom.construct", Example: seed.String()})
+			return nil, err
+		}
 		return nil, fmt.Errorf("learn: %w", err)
 	}
 	bc = bc.PruneNotHeadConnected()
@@ -236,11 +314,11 @@ func (l *Learner) learnClause(seed Example, pos, neg []Example, deadline time.Ti
 
 	evaluate := func(c *logic.Clause) (scored, error) {
 		stats.CandidatesSeen++
-		p, err := l.cover.Count(c, posSample)
+		p, err := l.cover.CountCtx(ctx, c, posSample)
 		if err != nil {
 			return scored{}, err
 		}
-		n, err := l.cover.Count(c, negSample)
+		n, err := l.cover.CountCtx(ctx, c, negSample)
 		if err != nil {
 			return scored{}, err
 		}
@@ -256,7 +334,7 @@ func (l *Learner) learnClause(seed Example, pos, neg []Example, deadline time.Ti
 
 	stale := 0
 	for round := 0; round < l.opts.MaxRounds; round++ {
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if l.expired() {
 			stats.TimedOut = true
 			break
 		}
@@ -269,11 +347,11 @@ func (l *Learner) learnClause(seed Example, pos, neg []Example, deadline time.Ti
 					stats.TimedOut = true
 					break
 				}
-				g, err := l.cover.GroundBC(e)
+				g, err := l.cover.GroundBCCtx(ctx, e)
 				if err != nil {
 					return nil, err
 				}
-				cand := ARMG(b.clause, g, l.opts.Subsume)
+				cand := ARMGCtx(ctx, b.clause, g, l.opts.Subsume)
 				if cand == nil || len(cand.Body) == 0 {
 					continue
 				}
@@ -314,7 +392,7 @@ func (l *Learner) learnClause(seed Example, pos, neg []Example, deadline time.Ti
 			}
 		}
 	}
-	reduced, err := l.reduceClause(best.clause, negSample)
+	reduced, err := l.reduceClause(ctx, best.clause, negSample)
 	if err != nil {
 		return nil, err
 	}
@@ -327,12 +405,16 @@ func (l *Learner) learnClause(seed Example, pos, neg []Example, deadline time.Ti
 // the surviving literals are the ones actually needed to keep the
 // negatives out, which keeps learned clauses short and able to
 // generalize past the training seeds.
-func (l *Learner) reduceClause(c *logic.Clause, negSample []Example) (*logic.Clause, error) {
+func (l *Learner) reduceClause(ctx context.Context, c *logic.Clause, negSample []Example) (*logic.Clause, error) {
 	if len(c.Body) <= 1 {
 		return c, nil
 	}
-	baseNeg, err := l.cover.Count(c, negSample)
+	baseNeg, err := l.cover.CountCtx(ctx, c, negSample)
 	if err != nil {
+		if isCtxErr(err) {
+			// Anytime: an un-reduced clause is still correct, just longer.
+			return c, nil
+		}
 		return nil, err
 	}
 	body := append([]logic.Literal(nil), c.Body...)
@@ -350,8 +432,11 @@ func (l *Learner) reduceClause(c *logic.Clause, negSample []Example) (*logic.Cla
 		// Only the threshold decision n <= baseNeg matters here, so the
 		// pool may stop counting at baseNeg+1: a failing trial costs one
 		// extra covered negative instead of the whole sample.
-		n, err := l.cover.CountUpTo(trial, negSample, baseNeg+1)
+		n, err := l.cover.CountUpToCtx(ctx, trial, negSample, baseNeg+1)
 		if err != nil {
+			if isCtxErr(err) {
+				break
+			}
 			return nil, err
 		}
 		if n <= baseNeg {
@@ -367,14 +452,14 @@ func (l *Learner) reduceClause(c *logic.Clause, negSample []Example) (*logic.Cla
 
 // scoreCounts counts clause coverage over (samples of) the positive and
 // negative examples.
-func (l *Learner) scoreCounts(c *logic.Clause, pos, neg []Example) (int, int, error) {
+func (l *Learner) scoreCounts(ctx context.Context, c *logic.Clause, pos, neg []Example) (int, int, error) {
 	posSample := l.sampleExamples(pos, l.opts.EvalSampleCap)
 	negSample := l.sampleExamples(neg, l.opts.EvalSampleCap)
-	p, err := l.cover.Count(c, posSample)
+	p, err := l.cover.CountCtx(ctx, c, posSample)
 	if err != nil {
 		return 0, 0, err
 	}
-	n, err := l.cover.Count(c, negSample)
+	n, err := l.cover.CountCtx(ctx, c, negSample)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -120,7 +121,7 @@ func TestPooledColdCacheConcurrent(t *testing.T) {
 	// call at a time.
 	want := make(map[string]bool)
 	for _, e := range all {
-		ok, err := ce.covers(copub, e, true)
+		ok, err := ce.covers(context.Background(), copub, e, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,7 +138,7 @@ func TestPooledColdCacheConcurrent(t *testing.T) {
 			wg.Add(1)
 			go func(e Example) {
 				defer wg.Done()
-				ok, err := cold.covers(copub, e, true)
+				ok, err := cold.covers(context.Background(), copub, e, true)
 				if err != nil {
 					errs <- err
 					return

@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -16,7 +17,7 @@ func TestReduceClauseDropsRedundantLiterals(t *testing.T) {
 	// Warm the coverage cache so reduction has ground BCs.
 	bloated := logic.MustParseClause(
 		"advisedBy(X,Y) :- student(X), professor(Y), inPhase(X,P), hasPosition(Y,Q), publication(Z,X), publication(Z,Y).")
-	reduced, err := l.reduceClause(bloated, neg)
+	reduced, err := l.reduceClause(context.Background(), bloated, neg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestReduceClauseSingleLiteralUntouched(t *testing.T) {
 	c := uwLearnBias(t, d)
 	l := New(d, c, Options{Bottom: bottom.Options{Depth: 1}})
 	single := logic.MustParseClause("advisedBy(X,Y) :- publication(Z,X).")
-	out, err := l.reduceClause(single, neg)
+	out, err := l.reduceClause(context.Background(), single, neg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,162 @@
+// Package report records degradation events of a learning run: the
+// moments where the system traded completeness for bounded execution —
+// a deadline interrupting work mid-primitive, a recovered worker panic
+// isolated to one example, a coverage count abandoned, a subsumption
+// search giving up its node budget. A run that finishes with an empty
+// report ran exactly; a degraded run still returns its best partial
+// theory (anytime semantics), and the report is the caller's record of
+// what was sacrificed and where.
+//
+// A Report is safe for concurrent use (coverage workers append to it)
+// and nil-safe: every method works on a nil receiver, so library code
+// records unconditionally and only callers that care allocate one.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a degradation event.
+type Kind string
+
+const (
+	// DeadlineHit: the run's deadline or cancellation interrupted the
+	// covering loop; the theory learned so far was returned.
+	DeadlineHit Kind = "deadline-hit"
+	// PanicRecovered: a coverage worker panicked; the panic was isolated
+	// to the (clause, example) test, which scored "not covered".
+	PanicRecovered Kind = "panic-recovered"
+	// CoverageAbandoned: a coverage count was interrupted before
+	// finishing its example set.
+	CoverageAbandoned Kind = "coverage-abandoned"
+	// BottomAbandoned: a bottom-clause construction was interrupted.
+	BottomAbandoned Kind = "bottom-build-abandoned"
+	// SubsumeBudget: a θ-subsumption test exhausted its node budget and
+	// reported (sound-negative) "does not subsume". This is the paper's
+	// §5 approximation working as designed, counted for observability.
+	SubsumeBudget Kind = "subsume-budget-exhausted"
+)
+
+// Event is one recorded degradation.
+type Event struct {
+	Kind Kind
+	// Site names where it happened (package.function or faultpoint site).
+	Site string
+	// Example is the example the event isolated, when applicable.
+	Example string
+	// Detail is free-form context (panic message, counts).
+	Detail string
+}
+
+func (e Event) String() string {
+	var b strings.Builder
+	b.WriteString(string(e.Kind))
+	if e.Site != "" {
+		fmt.Fprintf(&b, " at %s", e.Site)
+	}
+	if e.Example != "" {
+		fmt.Fprintf(&b, " [example %s]", e.Example)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, ": %s", e.Detail)
+	}
+	return b.String()
+}
+
+// maxEventsPerKind caps stored events so a budget-starved run (which can
+// exhaust thousands of subsumption budgets) cannot balloon the report;
+// Count still reflects every occurrence.
+const maxEventsPerKind = 32
+
+// Report accumulates events. The zero value is NOT usable — use New —
+// but a nil *Report is: all methods no-op or return zero values, so
+// recording code never branches on whether a caller asked for a report.
+type Report struct {
+	mu     sync.Mutex
+	events []Event
+	counts map[Kind]int
+	kept   map[Kind]int
+}
+
+// New returns an empty report.
+func New() *Report {
+	return &Report{counts: make(map[Kind]int), kept: make(map[Kind]int)}
+}
+
+// Add records an event (nil-safe, concurrency-safe). At most a fixed
+// number of events per kind are retained verbatim; counts are exact.
+func (r *Report) Add(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counts[e.Kind]++
+	if r.kept[e.Kind] < maxEventsPerKind {
+		r.kept[e.Kind]++
+		r.events = append(r.events, e)
+	}
+}
+
+// Events returns a copy of the retained events, in recording order.
+func (r *Report) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Count returns how many events of the kind were recorded (including
+// those beyond the retention cap).
+func (r *Report) Count(k Kind) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[k]
+}
+
+// Degraded reports whether the run recorded any degradation beyond the
+// by-design subsumption approximation.
+func (r *Report) Degraded() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, n := range r.counts {
+		if k != SubsumeBudget && n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Summary renders one line of per-kind counts, e.g.
+// "deadline-hit=1 coverage-abandoned=3 subsume-budget-exhausted=212";
+// empty for a clean run.
+func (r *Report) Summary() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kinds := make([]string, 0, len(r.counts))
+	for k, n := range r.counts {
+		if n > 0 {
+			kinds = append(kinds, string(k))
+		}
+	}
+	sort.Strings(kinds)
+	parts := make([]string, len(kinds))
+	for i, k := range kinds {
+		parts[i] = fmt.Sprintf("%s=%d", k, r.counts[Kind(k)])
+	}
+	return strings.Join(parts, " ")
+}

@@ -31,8 +31,10 @@
 package subsume
 
 import (
+	"context"
 	"math/rand"
 
+	"repro/internal/faultpoint"
 	"repro/internal/logic"
 )
 
@@ -70,6 +72,9 @@ type Result struct {
 	// was found, or the full search space was exhausted. When false, the
 	// budget ran out and Subsumes is a (sound-negative) approximation.
 	Complete bool
+	// Cancelled is true when the check was interrupted by its context
+	// mid-search; Subsumes is then false and Complete is false.
+	Cancelled bool
 	// Nodes is the total number of binding attempts across all passes.
 	Nodes int
 }
@@ -82,13 +87,37 @@ func Subsumes(c, g *logic.Clause, opts Options) bool {
 
 // Check runs the subsumption test and returns the detailed result.
 func Check(c, g *logic.Clause, opts Options) Result {
+	return CheckCtx(context.Background(), c, g, opts)
+}
+
+// SubsumesCtx is Subsumes with cancellation; an interrupted search
+// reports false (sound-negative), like a budget-exhausted one.
+func SubsumesCtx(ctx context.Context, c, g *logic.Clause, opts Options) bool {
+	return CheckCtx(ctx, c, g, opts).Subsumes
+}
+
+// CheckCtx runs the subsumption test under a context. Cancellation is
+// folded into the node-budget check loop, so an in-flight search stops
+// within a few hundred binding attempts of ctx being done — timeouts
+// interrupt mid-test rather than waiting out the node budget.
+func CheckCtx(ctx context.Context, c, g *logic.Clause, opts Options) Result {
 	opts = opts.normalized()
+
+	if faultpoint.Enabled() {
+		if err := faultpoint.Inject(ctx, "subsume.check"); err != nil {
+			// An injected error (or a cancelled injected delay) aborts the
+			// test as inconclusive — the same sound-negative degradation a
+			// real cancellation produces.
+			return Result{Subsumes: false, Complete: false, Cancelled: true}
+		}
+	}
 
 	m, ok := newMatcher(c, g)
 	if !ok {
 		// Head mismatch, or a body predicate absent from g.
 		return Result{Subsumes: false, Complete: true}
 	}
+	m.done = ctx.Done()
 
 	total := 0
 	m.maxNodes = opts.MaxNodes
@@ -96,6 +125,9 @@ func Check(c, g *logic.Clause, opts Options) Result {
 	total += m.nodes
 	if found {
 		return Result{Subsumes: true, Complete: true, Nodes: total}
+	}
+	if m.cancelled {
+		return Result{Subsumes: false, Complete: false, Cancelled: true, Nodes: total}
 	}
 	if !exhausted {
 		return Result{Subsumes: false, Complete: true, Nodes: total}
@@ -106,6 +138,9 @@ func Check(c, g *logic.Clause, opts Options) Result {
 		total += m.nodes
 		if found {
 			return Result{Subsumes: true, Complete: true, Nodes: total}
+		}
+		if m.cancelled {
+			return Result{Subsumes: false, Complete: false, Cancelled: true, Nodes: total}
 		}
 		if !exhausted {
 			return Result{Subsumes: false, Complete: true, Nodes: total}
@@ -151,6 +186,11 @@ type matcher struct {
 	nodes     int
 	maxNodes  int
 	rng       *rand.Rand
+	// done is the context's cancellation channel (nil = uncancellable);
+	// polled alongside the node-budget check so cancellation interrupts
+	// the search mid-pass. cancelled records that it fired.
+	done      <-chan struct{}
+	cancelled bool
 
 	// Degree buckets make pickLiteral O(1): buckets[d] holds the
 	// unmatched literals with constrained degree d; pos[li] is li's slot
@@ -464,13 +504,34 @@ func (m *matcher) unbindVar(v int) {
 	}
 }
 
+// over is the node-budget check loop's single gate: it reports true when
+// the pass must stop, either because the budget is exhausted or because
+// the context was cancelled (polled every 256 nodes, so an in-flight
+// test notices a deadline within microseconds, not after its full
+// budget). A cancelled search is reported upward as "exhausted", which
+// the callers already treat as inconclusive/not-subsumed.
+func (m *matcher) over() bool {
+	if m.nodes >= m.maxNodes {
+		return true
+	}
+	if m.done != nil && m.nodes&0xff == 0 {
+		select {
+		case <-m.done:
+			m.cancelled = true
+			return true
+		default:
+		}
+	}
+	return false
+}
+
 // solve matches every unmatched literal. It returns (matched,
 // budgetExhausted).
 func (m *matcher) solve() (bool, bool) {
 	if m.remaining == 0 {
 		return true, false
 	}
-	if m.nodes >= m.maxNodes {
+	if m.over() {
 		return false, true
 	}
 
@@ -497,7 +558,7 @@ func (m *matcher) solve() (bool, bool) {
 	exhausted := false
 	for _, gi := range cands {
 		m.nodes++
-		if m.nodes >= m.maxNodes {
+		if m.over() {
 			return false, true
 		}
 		g := cl.extent[gi]
