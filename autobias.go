@@ -29,6 +29,7 @@ import (
 	"repro/internal/ind"
 	"repro/internal/learn"
 	"repro/internal/logic"
+	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/report"
 	"repro/internal/subsume"
@@ -68,7 +69,19 @@ type (
 	DegradationEvent = report.Event
 	// DegradationKind classifies degradation events.
 	DegradationKind = report.Kind
+	// MetricsCollector accumulates run instrumentation (atomic counters,
+	// histograms, stage spans); see Options.Metrics/Options.Collector and
+	// DESIGN.md §9.
+	MetricsCollector = metrics.Collector
+	// MetricsSnapshot is a point-in-time copy of a collector, exposed on
+	// Result.Metrics and written by the CLIs' -metrics flags.
+	MetricsSnapshot = metrics.Snapshot
 )
+
+// NewMetricsCollector returns an enabled, empty instrumentation
+// collector, for callers that want to aggregate several runs (pass it as
+// Options.Collector) or serve live snapshots while a run is in flight.
+func NewMetricsCollector() *MetricsCollector { return metrics.New() }
 
 // Degradation-event kinds, re-exported from internal/report.
 const (
@@ -224,6 +237,28 @@ type Options struct {
 	// reproduces the sequential engine exactly. Results are identical at
 	// every worker count (see DESIGN.md, "Concurrency architecture").
 	Workers int
+	// Metrics enables run instrumentation: counters, histograms and stage
+	// spans collected through the hot paths and snapshotted on
+	// Result.Metrics. Off by default; disabled collection costs nothing
+	// (see DESIGN.md §9).
+	Metrics bool
+	// Collector, when non-nil, receives the run's instrumentation instead
+	// of a fresh per-run collector (implies Metrics). Use one collector
+	// across runs to aggregate, or poll Snapshot() live from another
+	// goroutine — all collector methods are concurrency-safe.
+	Collector *MetricsCollector
+}
+
+// collector resolves the run's metrics collector: Collector wins, then
+// Metrics allocates a fresh one, else nil (collection disabled).
+func (o Options) collector() *metrics.Collector {
+	if o.Collector != nil {
+		return o.Collector
+	}
+	if o.Metrics {
+		return metrics.New()
+	}
+	return nil
 }
 
 func (o Options) method() Method {
@@ -274,9 +309,16 @@ type Result struct {
 	Report *Report
 	// Clauses is the number of learned clauses.
 	Clauses int
+	// Metrics is the run's instrumentation snapshot (nil unless
+	// Options.Metrics or Options.Collector was set). Result.Evaluate
+	// refreshes it, so post-run scoring shows up too. Deterministic
+	// counters are bit-identical at every worker count; gauges are not —
+	// see the metrics package's determinism contract.
+	Metrics *MetricsSnapshot
 
-	covers eval.CoverFunc
-	db     *Database
+	covers  eval.CoverFunc
+	db      *Database
+	metrics *metrics.Collector
 }
 
 // Degraded reports whether the run was interrupted or lost work it could
@@ -293,9 +335,15 @@ func (r *Result) Covers(e Example) (bool, error) {
 
 // Evaluate scores the result against held-out examples using the
 // learner's own (sampled, subsumption-based) coverage — the paper's
-// evaluation protocol.
+// evaluation protocol. When the run was instrumented, the scoring is
+// recorded too and Result.Metrics is refreshed.
 func (r *Result) Evaluate(testPos, testNeg []Example) (Metrics, error) {
-	return eval.Evaluate(r.covers, r.Definition, testPos, testNeg)
+	m, err := eval.EvaluateCollect(r.metrics, r.covers, r.Definition, testPos, testNeg)
+	if r.metrics != nil {
+		snap := r.metrics.Snapshot()
+		r.Metrics = &snap
+	}
+	return m, err
 }
 
 // EvaluateExact scores the result with exact Datalog semantics: each
@@ -340,6 +388,7 @@ func BuildBias(task Task, opts Options) (*Bias, *TypeGraph, error) {
 			INDs:        opts.INDs,
 			ApproxError: opts.ApproxINDError,
 			Threshold:   constantThreshold(opts),
+			Metrics:     opts.Collector,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -370,6 +419,11 @@ func Learn(task Task, opts Options) (*Result, error) {
 // far with Result.TimedOut/Cancelled set and the degradation recorded in
 // Result.Report. Interruption is a degraded success, not an error.
 func LearnCtx(ctx context.Context, task Task, opts Options) (*Result, error) {
+	mc := opts.collector()
+	// The bias-induction path reads Options.Collector, so a run enabled
+	// via the Metrics flag alone still lands its IND counters in mc.
+	opts.Collector = mc
+
 	biasStart := time.Now()
 	b, graph, err := BuildBias(task, opts)
 	if err != nil {
@@ -382,7 +436,7 @@ func LearnCtx(ctx context.Context, task Task, opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{Bias: b, Graph: graph, BiasTime: biasTime, db: task.DB}
+	res := &Result{Bias: b, Graph: graph, BiasTime: biasTime, db: task.DB, metrics: mc}
 	start := time.Now()
 	if opts.method() == MethodAleph {
 		l := foil.New(task.DB, compiled, foil.Options{
@@ -393,6 +447,7 @@ func LearnCtx(ctx context.Context, task Task, opts Options) (*Result, error) {
 			Timeout:       opts.Timeout,
 			Seed:          opts.Seed,
 			Workers:       opts.Workers,
+			Metrics:       mc,
 		})
 		def, stats, err := l.LearnCtx(ctx, task.Pos, task.Neg)
 		if err != nil {
@@ -416,6 +471,7 @@ func LearnCtx(ctx context.Context, task Task, opts Options) (*Result, error) {
 			Timeout:       opts.Timeout,
 			Seed:          opts.Seed,
 			Workers:       opts.Workers,
+			Metrics:       mc,
 		})
 		def, stats, err := l.LearnCtx(ctx, task.Pos, task.Neg)
 		if err != nil {
@@ -431,6 +487,10 @@ func LearnCtx(ctx context.Context, task Task, opts Options) (*Result, error) {
 		}
 	}
 	res.Elapsed = time.Since(start)
+	if mc != nil {
+		snap := mc.Snapshot()
+		res.Metrics = &snap
+	}
 	return res, nil
 }
 
@@ -448,6 +508,13 @@ func DiscoverINDsCtx(ctx context.Context, d *Database, maxError float64) ([]IND,
 	return ind.DiscoverCtx(ctx, d, ind.Options{MaxError: maxError})
 }
 
+// DiscoverINDsCollect is DiscoverINDsCtx with instrumentation: mc (nil =
+// disabled) receives the candidate/validated/pruned counters, the
+// error-rate histogram, and the ind.discover span.
+func DiscoverINDsCollect(ctx context.Context, d *Database, maxError float64, mc *MetricsCollector) ([]IND, error) {
+	return ind.DiscoverCtx(ctx, d, ind.Options{MaxError: maxError, Metrics: mc})
+}
+
 // InduceBias runs the full §3 pipeline (the paper's primary
 // contribution) and returns the induced bias together with the type
 // graph and the INDs it was built from.
@@ -456,6 +523,7 @@ func InduceBias(task Task, opts Options) (*Bias, *TypeGraph, []IND, error) {
 		INDs:        opts.INDs,
 		ApproxError: opts.ApproxINDError,
 		Threshold:   constantThreshold(opts),
+		Metrics:     opts.collector(),
 	})
 	if err != nil {
 		return nil, nil, nil, err
@@ -496,7 +564,7 @@ func CrossValidateCtx(ctx context.Context, task Task, opts Options, k int) (CVRe
 		out := eval.FoldOutcome{Elapsed: res.Elapsed + res.BiasTime, TimedOut: res.TimedOut, Cancelled: res.Cancelled, Clauses: res.Clauses}
 		return res.Definition, res.covers, out, nil
 	}
-	return eval.CrossValidateParallelCtx(ctx, folds, trainer, opts.Workers)
+	return eval.CrossValidateCollect(ctx, folds, trainer, opts.Workers, opts.collector())
 }
 
 func examplesToTuples(examples []Example) []Tuple {

@@ -47,6 +47,7 @@ func main() {
 	sampleSize := flag.Int("s", 20, "sample size s (tuples per mode/stratum)")
 	timeout := flag.Duration("timeout", 0, "learning budget (0 = unlimited)")
 	workers := flag.Int("workers", 0, "coverage-test worker pool size (0 = all CPUs, 1 = sequential; results are identical at any setting)")
+	metricsOut := flag.String("metrics", "", "write run instrumentation (counters, histograms, spans) to this JSON file")
 	flag.Parse()
 
 	task, err := buildTask(*dataset, *scale, *seed, *csvDir, *target, *attrs, *posFile, *negFile)
@@ -67,6 +68,11 @@ func main() {
 		Timeout:    *timeout,
 		Seed:       *seed,
 		Workers:    *workers,
+	}
+	var mc *autobias.MetricsCollector
+	if *metricsOut != "" {
+		mc = autobias.NewMetricsCollector()
+		opts.Collector = mc
 	}
 	// Ctrl-C cancels the run mid-primitive; the partial definition
 	// learned so far is still printed (anytime semantics).
@@ -91,6 +97,13 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("%% training metrics: precision=%.2f recall=%.2f f1=%.2f\n", m.Precision, m.Recall, m.F1)
+	// Snapshot after Evaluate so eval.examples_scored is included.
+	if mc != nil {
+		if err := mc.Snapshot().WriteFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "autobias:", err)
+			os.Exit(1)
+		}
+	}
 	if code := reportDegradation(os.Stderr, "autobias", res.TimedOut, res.Cancelled, res.Report); code != 0 {
 		os.Exit(code)
 	}

@@ -33,15 +33,31 @@ func main() {
 	count := flag.Bool("count", false, "compare manual vs induced bias sizes over all datasets")
 	approx := flag.Float64("approx", 0.5, "approximate-IND error cutoff α")
 	threshold := flag.Float64("threshold", 0.18, "constant-threshold (relative)")
+	metricsOut := flag.String("metrics", "", "write induction instrumentation (IND counters, spans) to this JSON file")
 	flag.Parse()
+
+	var mc *autobias.MetricsCollector
+	if *metricsOut != "" {
+		mc = autobias.NewMetricsCollector()
+	}
+	writeMetrics := func() {
+		if mc == nil {
+			return
+		}
+		if err := mc.Snapshot().WriteFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "biasgen:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *count {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
-		if err := printCounts(ctx, *scale, *seed, *approx, *threshold); err != nil {
+		if err := printCounts(ctx, *scale, *seed, *approx, *threshold, mc); err != nil {
 			fmt.Fprintln(os.Stderr, "biasgen:", err)
 			os.Exit(1)
 		}
+		writeMetrics()
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "biasgen: interrupted; counts above are partial")
 			os.Exit(3)
@@ -55,12 +71,13 @@ func main() {
 		os.Exit(1)
 	}
 	task := autobias.TaskFromDataset(ds)
-	opts := autobias.Options{ApproxINDError: *approx, ConstantThreshold: *threshold}
+	opts := autobias.Options{ApproxINDError: *approx, ConstantThreshold: *threshold, Collector: mc}
 	b, g, inds, err := autobias.InduceBias(task, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "biasgen:", err)
 		os.Exit(1)
 	}
+	writeMetrics()
 	if *graph {
 		fmt.Printf("type graph for %s (%d INDs, α=%.2f):\n", *dataset, len(inds), *approx)
 		fmt.Print(autobias.RenderTypeGraph(g, task))
@@ -71,7 +88,7 @@ func main() {
 	fmt.Print(b.String())
 }
 
-func printCounts(ctx context.Context, scale float64, seed int64, approx, threshold float64) error {
+func printCounts(ctx context.Context, scale float64, seed int64, approx, threshold float64, mc *autobias.MetricsCollector) error {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "dataset\tmanual defs\tinduced defs\tratio")
 	for _, name := range autobias.DatasetNames() {
@@ -84,7 +101,7 @@ func printCounts(ctx context.Context, scale float64, seed int64, approx, thresho
 		}
 		task := autobias.TaskFromDataset(ds)
 		b, _, _, err := autobias.InduceBias(task, autobias.Options{
-			ApproxINDError: approx, ConstantThreshold: threshold,
+			ApproxINDError: approx, ConstantThreshold: threshold, Collector: mc,
 		})
 		if err != nil {
 			return err

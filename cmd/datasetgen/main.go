@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	autobias "repro"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -32,15 +33,20 @@ func main() {
 	scale := flag.Float64("scale", 1, "dataset scale factor")
 	seed := flag.Int64("seed", 1, "generation seed")
 	out := flag.String("out", "", "output directory (default ./<dataset>-data)")
+	metricsOut := flag.String("metrics", "", "write generation instrumentation (datagen.generate span) to this JSON file")
 	flag.Parse()
 
+	var mc *autobias.MetricsCollector
+	if *metricsOut != "" {
+		mc = autobias.NewMetricsCollector()
+	}
 	dir := *out
 	if dir == "" {
 		dir = "./" + *dataset + "-data"
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *dataset, *scale, *seed, dir); err != nil {
+	if err := run(ctx, *dataset, *scale, *seed, dir, mc); err != nil {
 		if ctx.Err() != nil {
 			fmt.Fprintf(os.Stderr, "datasetgen: interrupted; %s is incomplete, discard it\n", dir)
 			os.Exit(3)
@@ -48,13 +54,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "datasetgen:", err)
 		os.Exit(1)
 	}
+	if mc != nil {
+		if err := mc.Snapshot().WriteFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "datasetgen:", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func run(ctx context.Context, dataset string, scale float64, seed int64, dir string) error {
+func run(ctx context.Context, dataset string, scale float64, seed int64, dir string, mc *autobias.MetricsCollector) error {
+	spanStart := mc.StartSpan()
 	ds, err := autobias.GenerateDataset(dataset, scale, seed)
 	if err != nil {
 		return err
 	}
+	mc.EndSpan(metrics.SpanDatagen, spanStart)
 	if err := ctx.Err(); err != nil {
 		return err
 	}

@@ -17,6 +17,8 @@
 //	experiments -table 5
 //	experiments -table 6 -quick
 //	experiments -table all -md EXPERIMENTS_DATA.md
+//	experiments -quick -metrics run-metrics.json
+//	experiments -http localhost:6060     # live /metrics JSON + /debug/pprof/
 //
 // Exit codes: 0 success, 1 error, 3 interrupted (Ctrl-C) — the rows
 // produced so far were printed; per-fold budget exhaustion is part of
@@ -25,9 +27,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
 	"os"
 	"os/signal"
 	"strings"
@@ -43,6 +48,10 @@ type config struct {
 	reps    int // Table 6 repetitions for random/stratified
 	timeout time.Duration
 	workers int // coverage + CV fold parallelism (0 = all CPUs)
+	// mc, when non-nil, accumulates instrumentation across every cell of
+	// the sweep (one collector for the whole run; concurrent folds record
+	// into it safely).
+	mc *autobias.MetricsCollector
 }
 
 func main() {
@@ -56,11 +65,19 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool for coverage tests and concurrent CV folds (0 = all CPUs, 1 = sequential; results are identical at any setting)")
 	mdPath := flag.String("md", "", "also append the tables to this markdown file")
 	datasets := flag.String("datasets", "", "comma-separated subset of datasets (default: all)")
+	metricsOut := flag.String("metrics", "", "write sweep instrumentation (counters, histograms, spans) to this JSON file")
+	httpAddr := flag.String("http", "", "serve /metrics (live collector snapshot as JSON) and /debug/pprof/ on this address")
 	flag.Parse()
 
 	cfg := config{scale: *scale, seed: *seed, folds: *folds, reps: *reps, timeout: *timeout, workers: *workers}
 	if *quick {
 		cfg.scale, cfg.folds, cfg.reps, cfg.timeout = 0.3, 3, 2, 15*time.Second
+	}
+	if *metricsOut != "" || *httpAddr != "" {
+		cfg.mc = autobias.NewMetricsCollector()
+	}
+	if *httpAddr != "" {
+		serveDebug(*httpAddr, cfg.mc)
 	}
 
 	names := autobias.DatasetNames()
@@ -95,10 +112,37 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *metricsOut != "" {
+		if err := cfg.mc.Snapshot().WriteFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "experiments: interrupted; tables above are partial")
 		os.Exit(3)
 	}
+}
+
+// serveDebug exposes the live collector and the pprof handlers on addr in
+// a background goroutine. /metrics renders a point-in-time snapshot as
+// indented JSON; /debug/pprof/ comes from net/http/pprof on the default
+// mux. The server is best-effort observability: a bind failure warns and
+// the sweep proceeds.
+func serveDebug(addr string, mc *autobias.MetricsCollector) {
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(mc.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: debug server:", err)
+		}
+	}()
 }
 
 func foldsFor(cfg config, dataset string, nPos int) int {
@@ -177,7 +221,7 @@ func runTable5(ctx context.Context, out io.Writer, names []string, cfg config) e
 		k := foldsFor(cfg, name, len(task.Pos))
 		// Preprocess INDs once per dataset, as the paper does (§6.1).
 		indStart := time.Now()
-		_, _, inds, err := autobias.InduceBias(task, autobias.Options{})
+		_, _, inds, err := autobias.InduceBias(task, autobias.Options{Collector: cfg.mc})
 		if err != nil {
 			return err
 		}
@@ -185,7 +229,7 @@ func runTable5(ctx context.Context, out io.Writer, names []string, cfg config) e
 
 		cells := make([]cell, len(methods))
 		for i, m := range methods {
-			opts := autobias.Options{Method: m, Timeout: cfg.timeout, Seed: cfg.seed, Workers: cfg.workers}
+			opts := autobias.Options{Method: m, Timeout: cfg.timeout, Seed: cfg.seed, Workers: cfg.workers, Collector: cfg.mc}
 			if m == autobias.MethodAutoBias {
 				opts.INDs = inds
 			}
@@ -227,7 +271,7 @@ func runTable6(ctx context.Context, out io.Writer, names []string, cfg config) e
 		}
 		task := autobias.TaskFromDataset(ds)
 		k := foldsFor(cfg, name, len(task.Pos))
-		_, _, inds, err := autobias.InduceBias(task, autobias.Options{})
+		_, _, inds, err := autobias.InduceBias(task, autobias.Options{Collector: cfg.mc})
 		if err != nil {
 			return err
 		}
@@ -241,12 +285,13 @@ func runTable6(ctx context.Context, out io.Writer, names []string, cfg config) e
 			var agg cell
 			for r := 0; r < reps; r++ {
 				opts := autobias.Options{
-					Method:   autobias.MethodAutoBias,
-					Sampling: strat,
-					Timeout:  cfg.timeout,
-					Seed:     cfg.seed + int64(r),
-					INDs:     inds,
-					Workers:  cfg.workers,
+					Method:    autobias.MethodAutoBias,
+					Sampling:  strat,
+					Timeout:   cfg.timeout,
+					Seed:      cfg.seed + int64(r),
+					INDs:      inds,
+					Workers:   cfg.workers,
+					Collector: cfg.mc,
 				}
 				c, err := runCell(ctx, task, opts, k)
 				if err != nil {

@@ -31,6 +31,7 @@ func main() {
 	scale := flag.Float64("scale", 1, "dataset scale factor")
 	seed := flag.Int64("seed", 1, "generation seed")
 	approx := flag.Float64("approx", 0.5, "approximate-IND error cutoff α (0 = exact only)")
+	metricsOut := flag.String("metrics", "", "write discovery instrumentation (candidate counters, error-rate histogram, span) to this JSON file")
 	flag.Parse()
 
 	var d *autobias.Database
@@ -56,10 +57,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	var mc *autobias.MetricsCollector
+	if *metricsOut != "" {
+		mc = autobias.NewMetricsCollector()
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	start := time.Now()
-	inds, err := autobias.DiscoverINDsCtx(ctx, d, *approx)
+	inds, err := autobias.DiscoverINDsCollect(ctx, d, *approx, mc)
 	elapsed := time.Since(start)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -80,5 +85,11 @@ func main() {
 		label, d.TotalTuples(), len(inds), exact, len(inds)-exact, *approx, elapsed.Round(time.Millisecond))
 	for _, i := range inds {
 		fmt.Println(" ", i)
+	}
+	if mc != nil {
+		if err := mc.Snapshot().WriteFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "indiscover:", err)
+			os.Exit(1)
+		}
 	}
 }

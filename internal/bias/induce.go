@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/ind"
+	"repro/internal/metrics"
 )
 
 // ConstantThreshold is the hyper-parameter deciding which attributes may
@@ -53,6 +54,9 @@ type InduceOptions struct {
 	// MaxPredicateDefs caps the Cartesian product of attribute types per
 	// relation. <=0 defaults to 64.
 	MaxPredicateDefs int
+	// Metrics, when non-nil, receives the bias.induce span and the IND
+	// discovery counters (when INDs are not precomputed).
+	Metrics *metrics.Collector
 }
 
 func (o *InduceOptions) normalize() {
@@ -89,6 +93,8 @@ type Result struct {
 // variants for attributes under the constant-threshold.
 func Induce(d *db.Database, target string, targetAttrs []string, positives []db.Tuple, opts InduceOptions) (*Result, error) {
 	opts.normalize()
+	spanStart := opts.Metrics.StartSpan()
+	defer opts.Metrics.EndSpan(metrics.SpanBiasInduce, spanStart)
 	if len(positives) == 0 {
 		return nil, fmt.Errorf("bias: induction needs at least one positive example for %s", target)
 	}
@@ -98,7 +104,7 @@ func Induce(d *db.Database, target string, targetAttrs []string, positives []db.
 	}
 	inds := opts.INDs
 	if inds == nil {
-		inds = ind.Discover(ext, ind.Options{MaxError: opts.ApproxError})
+		inds = ind.Discover(ext, ind.Options{MaxError: opts.ApproxError, Metrics: opts.Metrics})
 	}
 	graph := BuildTypeGraph(ext.Schema(), inds)
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/faultpoint"
 	"repro/internal/logic"
+	"repro/internal/metrics"
 )
 
 // Strategy selects how tuples are sampled during BC construction.
@@ -66,6 +67,11 @@ type Options struct {
 	MaxLiterals int
 	// Seed seeds the sampling RNG; 0 selects a fixed default.
 	Seed int64
+	// Metrics, when non-nil, receives per-build counters (constructions,
+	// literals emitted, depth reached) and the bottom.construct span.
+	// Clones share the collector: its methods are concurrency-safe even
+	// though the builder itself is not.
+	Metrics *metrics.Collector
 }
 
 func (o Options) normalized() Options {
@@ -99,6 +105,17 @@ type Builder struct {
 	// recursions poll cancellation without threading a ctx through
 	// every signature.
 	done <-chan struct{}
+	// depthReached is the deepest Algorithm 2 iteration (or semi-join
+	// tree level) that contributed tuples to the build in progress;
+	// per-build state like done.
+	depthReached int
+}
+
+// noteDepth raises the current build's reached-depth watermark.
+func (b *Builder) noteDepth(d int) {
+	if d > b.depthReached {
+		b.depthReached = d
+	}
 }
 
 // interrupted reports whether the current build's context is done.
@@ -182,7 +199,10 @@ func (b *Builder) build(ctx context.Context, example logic.Literal, ground bool)
 		}
 	}
 	b.done = ctx.Done()
+	b.depthReached = 0
 	defer func() { b.done = nil }()
+	mc := b.opts.Metrics
+	spanStart := mc.StartSpan()
 
 	st := newState(b, ground)
 	st.seedHead(example)
@@ -215,7 +235,18 @@ func (b *Builder) build(ctx context.Context, example logic.Literal, ground bool)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("bottom: construct %v interrupted: %w", example, err)
 	}
-	return st.clause(), nil
+	c := st.clause()
+	if mc.Enabled() {
+		mc.Inc(metrics.BottomConstructions)
+		if ground {
+			mc.Inc(metrics.BottomGroundConstructions)
+		}
+		mc.Add(metrics.BottomLiterals, int64(len(c.Body)))
+		mc.Observe(metrics.HistBottomLiterals, int64(len(c.Body)))
+		mc.SetMax(metrics.BottomMaxDepth, int64(b.depthReached))
+		mc.EndSpan(metrics.SpanBottomConstruct, spanStart)
+	}
+	return c, nil
 }
 
 // foundTuple is a tuple discovered during construction, tagged with the
@@ -369,6 +400,7 @@ func (b *Builder) naiveTuples(st *state, example logic.Literal) []foundTuple {
 		if len(frontier) == 0 {
 			break
 		}
+		b.noteDepth(iter + 1)
 		for _, fe := range frontier {
 			if st.full() || b.interrupted() {
 				break

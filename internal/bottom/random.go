@@ -43,6 +43,7 @@ func (b *Builder) expandRandom(values, types []string, depth int, out *[]foundTu
 		if len(sample) == 0 {
 			continue
 		}
+		b.noteDepth(b.opts.Depth - depth + 1)
 		for _, t := range sample {
 			*out = append(*out, foundTuple{rel: ra.Relation, viaAttr: ra.Attr, tuple: t})
 			*budget--

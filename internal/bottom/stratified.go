@@ -47,6 +47,7 @@ func (b *Builder) stratRec(relName string, attr int, m map[string]bool, iter int
 	if len(ir) == 0 {
 		return nil
 	}
+	b.noteDepth(iter)
 	if iter >= b.opts.Depth {
 		return b.sampleStrata(relName, attr, ir, budget)
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/logic"
+	"repro/internal/metrics"
 )
 
 // Metrics are the quality measures of §6.1. Precision is TP over all
@@ -48,6 +49,14 @@ type CoverFunc func(*logic.Definition, logic.Literal) (bool, error)
 
 // Evaluate scores a definition against held-out positives and negatives.
 func Evaluate(covers CoverFunc, def *logic.Definition, testPos, testNeg []logic.Literal) (Metrics, error) {
+	return EvaluateCollect(nil, covers, def, testPos, testNeg)
+}
+
+// EvaluateCollect is Evaluate with instrumentation: mc (nil = disabled)
+// receives eval.examples_scored and the eval.evaluate span.
+func EvaluateCollect(mc *metrics.Collector, covers CoverFunc, def *logic.Definition, testPos, testNeg []logic.Literal) (Metrics, error) {
+	spanStart := mc.StartSpan()
+	defer mc.EndSpan(metrics.SpanEval, spanStart)
 	tp, fp := 0, 0
 	for _, e := range testPos {
 		ok, err := covers(def, e)
@@ -67,6 +76,7 @@ func Evaluate(covers CoverFunc, def *logic.Definition, testPos, testNeg []logic.
 			fp++
 		}
 	}
+	mc.Add(metrics.EvalExamples, int64(len(testPos)+len(testNeg)))
 	return Compute(tp, fp, len(testPos)-tp), nil
 }
 
@@ -172,6 +182,14 @@ func CrossValidateParallel(folds []Fold, train Trainer, workers int) (CVResult, 
 // in-flight folds mid-primitive (they return partial theories, flagged in
 // their outcomes) and no new folds start once ctx is done.
 func CrossValidateParallelCtx(ctx context.Context, folds []Fold, train Trainer, workers int) (CVResult, error) {
+	return CrossValidateCollect(ctx, folds, train, workers, nil)
+}
+
+// CrossValidateCollect is CrossValidateParallelCtx with instrumentation:
+// fold scoring counts into mc (nil = disabled). The eval totals stay
+// deterministic at any worker count — every started fold scores its
+// whole test split, so the sum is a function of the folds alone.
+func CrossValidateCollect(ctx context.Context, folds []Fold, train Trainer, workers int, mc *metrics.Collector) (CVResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -198,7 +216,7 @@ func CrossValidateParallelCtx(ctx context.Context, folds []Fold, train Trainer, 
 				def, covers, outcome, err := train(ctx, folds[i])
 				if err == nil {
 					var m Metrics
-					m, err = Evaluate(covers, def, folds[i].TestPos, folds[i].TestNeg)
+					m, err = EvaluateCollect(mc, covers, def, folds[i].TestPos, folds[i].TestNeg)
 					outcome.Metrics = m
 				}
 				if err != nil {

@@ -13,8 +13,8 @@
 // (for example a per-example suffix) should guard the string work with
 // Enabled().
 //
-// Faults are deterministic: each armed site counts its hits under a
-// lock, and the fault fires on an exact hit window (After ≤ hit <
+// Faults are deterministic: each armed site counts its hits atomically,
+// and the fault fires on an exact hit window (After ≤ hit <
 // After+Times), never on wall-clock or scheduling. That is what lets
 // tests assert bit-identical results at different worker counts while a
 // fault is armed — provided the site name identifies the logical unit of
@@ -64,12 +64,16 @@ func (p *Panic) String() string { return fmt.Sprintf("faultpoint %s: %s", p.Site
 
 type site struct {
 	fault Fault
-	hits  int
+	// hits is atomic: armed sites are polled concurrently by coverage
+	// workers, and the counter must both stay exact under contention and
+	// avoid serializing the workers through an exclusive lock (mu is only
+	// taken to arm/disarm, never per hit).
+	hits atomic.Int64
 }
 
 var (
 	armed atomic.Bool // fast path: true iff any site is armed
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	sites map[string]*site
 )
 
@@ -108,10 +112,11 @@ func Reset() {
 // Hits returns how many times the named site has been hit since it was
 // armed (0 when not armed).
 func Hits(name string) int {
-	mu.Lock()
-	defer mu.Unlock()
-	if s := sites[name]; s != nil {
-		return s.hits
+	mu.RLock()
+	s := sites[name]
+	mu.RUnlock()
+	if s != nil {
+		return int(s.hits.Load())
 	}
 	return 0
 }
@@ -123,16 +128,17 @@ func Inject(ctx context.Context, name string) error {
 	if !armed.Load() {
 		return nil
 	}
-	mu.Lock()
+	// Read lock only: concurrent workers polling distinct (or the same)
+	// sites must not serialize. The hit counter itself is atomic, so the
+	// window check below still sees each hit exactly once.
+	mu.RLock()
 	s := sites[name]
+	mu.RUnlock()
 	if s == nil {
-		mu.Unlock()
 		return nil
 	}
-	s.hits++
+	hit := int(s.hits.Add(1))
 	f := s.fault
-	hit := s.hits
-	mu.Unlock()
 
 	after := f.After
 	if after <= 0 {

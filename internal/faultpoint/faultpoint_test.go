@@ -3,6 +3,7 @@ package faultpoint
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 )
@@ -79,6 +80,49 @@ func TestDelayRespectsContext(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > time.Second {
 		t.Fatalf("delay ignored cancellation, took %v", elapsed)
+	}
+}
+
+// TestConcurrentHitCounting exercises the hit counter from many
+// goroutines (run under -race): the total must be exact, and an
+// error fault with an exact window must fire exactly Times times in
+// aggregate even when the hits that land in the window come from
+// different goroutines.
+func TestConcurrentHitCounting(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("boom")
+	const goroutines, perG = 8, 500
+	Enable("site.c", Fault{Err: sentinel, After: 100, Times: 7})
+
+	var fired, unexpected int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				err := Inject(context.Background(), "site.c")
+				mu.Lock()
+				if errors.Is(err, sentinel) {
+					fired++
+				} else if err != nil {
+					unexpected++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := Hits("site.c"); got != goroutines*perG {
+		t.Fatalf("Hits = %d, want %d (lost or double-counted hits)", got, goroutines*perG)
+	}
+	if fired != 7 {
+		t.Fatalf("fault fired %d times, want exactly 7 (window [100,107))", fired)
+	}
+	if unexpected != 0 {
+		t.Fatalf("%d unexpected non-sentinel errors", unexpected)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/learn"
 	"repro/internal/logic"
+	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/subsume"
 )
@@ -54,6 +55,9 @@ type Options struct {
 	// Workers bounds the coverage engine's worker pool, as in the
 	// bottom-up learner; <=0 defaults to runtime.GOMAXPROCS(0).
 	Workers int
+	// Metrics, when non-nil, collects the run's instrumentation, as in
+	// the bottom-up learner. Nil disables collection at zero cost.
+	Metrics *metrics.Collector
 }
 
 func (o Options) normalized() Options {
@@ -112,9 +116,16 @@ type Learner struct {
 // New creates a FOIL learner over a database and compiled bias.
 func New(d *db.Database, c *bias.Compiled, opts Options) *Learner {
 	opts = opts.normalized()
+	if opts.Metrics != nil {
+		opts.Bottom.Metrics = opts.Metrics
+		opts.Subsume.Metrics = opts.Metrics
+	}
 	builder := bottom.NewBuilder(d, c, opts.Bottom)
 	cover := learn.NewCoverage(builder, opts.Subsume)
 	cover.SetWorkers(opts.Workers)
+	if opts.Metrics != nil {
+		cover.SetMetrics(opts.Metrics)
+	}
 	return &Learner{
 		db:    d,
 		bias:  c,
@@ -143,6 +154,8 @@ func isCtxErr(err error) bool {
 // interruption in Stats (TimedOut/Cancelled + Report).
 func (l *Learner) LearnCtx(ctx context.Context, pos, neg []learn.Example) (*logic.Definition, *Stats, error) {
 	start := time.Now()
+	spanStart := l.opts.Metrics.StartSpan()
+	defer l.opts.Metrics.EndSpan(metrics.SpanLearn, spanStart)
 	if l.opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, l.opts.Timeout)
@@ -217,6 +230,7 @@ func (l *Learner) LearnCtx(ctx context.Context, pos, neg []learn.Example) (*logi
 		}
 		def.Add(clause)
 		stats.Clauses++
+		l.opts.Metrics.Inc(metrics.LearnClauses)
 		var still []learn.Example
 		interrupted := false
 		for _, e := range uncovered {
@@ -261,6 +275,7 @@ func (l *Learner) learnClause(ctx context.Context, pos, neg []learn.Example, sta
 		if ctx.Err() != nil {
 			break
 		}
+		l.opts.Metrics.Inc(metrics.LearnRounds)
 		cands := l.candidateLiterals(varTypes, &next)
 		if len(cands) > l.opts.MaxCandidates {
 			l.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
@@ -274,6 +289,7 @@ func (l *Learner) learnClause(ctx context.Context, pos, neg []learn.Example, sta
 				break
 			}
 			stats.CandidatesSeen++
+			l.opts.Metrics.Inc(metrics.LearnCandidates)
 			trial := &logic.Clause{Head: clause.Head, Body: append(append([]logic.Literal(nil), clause.Body...), cands[i])}
 			p1, err := l.cover.CountCtx(ctx, trial, posSample)
 			if err != nil {

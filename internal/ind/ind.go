@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/db"
+	"repro/internal/metrics"
 )
 
 // AttrID identifies an attribute by relation name and position.
@@ -56,7 +57,16 @@ type Options struct {
 	Buckets int
 	// MinDistinct skips attributes with fewer distinct values than this
 	// as IND left-hand sides; <=0 means 1 (skip only empty attributes).
+	// NULLs (empty-string values) never count as distinct values: an
+	// all-NULL column is treated like an empty one and excluded, and a
+	// NULL on the left-hand side never counts against an IND (standard
+	// SQL inclusion-dependency semantics, as in Binder).
 	MinDistinct int
+	// Metrics, when non-nil, receives discovery counters (candidates
+	// checked, validated, pruned), the ind.discover span, and the
+	// error-rate histogram of validated INDs. All deterministic:
+	// discovery is sequential.
+	Metrics *metrics.Collector
 }
 
 func (o *Options) normalize() {
@@ -89,6 +99,9 @@ func Discover(d *db.Database, opts Options) []IND {
 // offered.
 func DiscoverCtx(ctx context.Context, d *db.Database, opts Options) ([]IND, error) {
 	opts.normalize()
+	mc := opts.Metrics
+	spanStart := mc.StartSpan()
+	defer mc.EndSpan(metrics.SpanINDDiscover, spanStart)
 
 	attrs, distinct := collectAttributes(d, opts.MinDistinct)
 	n := len(attrs)
@@ -114,6 +127,11 @@ func DiscoverCtx(ctx context.Context, d *db.Database, opts Options) ([]IND, erro
 		for ai, id := range attrs {
 			rel := d.Relation(id.Relation)
 			for _, v := range rel.DistinctValues(id.Attr) {
+				if v == "" {
+					// NULL: absent from validation on either side, so a NULL
+					// on the left never counts against an IND.
+					continue
+				}
 				if bucketOf(v, opts.Buckets) != bucket {
 					continue
 				}
@@ -145,9 +163,14 @@ func DiscoverCtx(ctx context.Context, d *db.Database, opts Options) ([]IND, erro
 			if a == b || attrs[a] == attrs[b] {
 				continue
 			}
+			mc.Inc(metrics.INDCandidates)
 			errRate := float64(missing[a][b]) / float64(distinct[a])
 			if errRate <= opts.MaxError {
+				mc.Inc(metrics.INDValidated)
+				mc.Observe(metrics.HistINDErrorPct, int64(errRate*100))
 				out = append(out, IND{From: attrs[a], To: attrs[b], Error: errRate})
+			} else {
+				mc.Inc(metrics.INDPruned)
 			}
 		}
 	}
@@ -182,17 +205,20 @@ func Holds(d *db.Database, from, to AttrID) (float64, error) {
 	if from.Attr >= fr.Schema.Arity() || to.Attr >= tr.Schema.Arity() {
 		return 0, fmt.Errorf("ind: attribute out of range in %v ⊆ %v", from, to)
 	}
-	values := fr.DistinctValues(from.Attr)
-	if len(values) == 0 {
-		return 0, fmt.Errorf("ind: empty left-hand side %v", from)
-	}
-	miss := 0
-	for _, v := range values {
+	miss, total := 0, 0
+	for _, v := range fr.DistinctValues(from.Attr) {
+		if v == "" {
+			continue // NULL: never counts on either side
+		}
+		total++
 		if !tr.Contains(to.Attr, v) {
 			miss++
 		}
 	}
-	return float64(miss) / float64(len(values)), nil
+	if total == 0 {
+		return 0, fmt.Errorf("ind: empty left-hand side %v", from)
+	}
+	return float64(miss) / float64(total), nil
 }
 
 func collectAttributes(d *db.Database, minDistinct int) ([]AttrID, []int) {
@@ -202,6 +228,10 @@ func collectAttributes(d *db.Database, minDistinct int) ([]AttrID, []int) {
 		rel := d.Relation(name)
 		for i := 0; i < rel.Schema.Arity(); i++ {
 			n := rel.DistinctCount(i)
+			if rel.Contains(i, "") {
+				// NULLs are not values: an all-NULL column counts as empty.
+				n--
+			}
 			if n < minDistinct {
 				continue
 			}

@@ -177,6 +177,179 @@ func TestEmptyDatabase(t *testing.T) {
 	}
 }
 
+// smallDB builds a database from literal rows: each entry maps a
+// relation name to its tuples; arity comes from the first tuple and
+// attributes are named a0, a1, ... Empty-string values are NULLs.
+func smallDB(t *testing.T, rels map[string][][]string) *db.Database {
+	t.Helper()
+	s := db.NewSchema()
+	for name, rows := range rels {
+		if len(rows) == 0 {
+			t.Fatalf("relation %s needs at least a declaring row; use a row of empty strings for an all-NULL relation", name)
+		}
+		attrs := make([]string, len(rows[0]))
+		for i := range attrs {
+			attrs[i] = "a" + string(rune('0'+i))
+		}
+		s.MustAdd(name, attrs...)
+	}
+	d := db.New(s)
+	for name, rows := range rels {
+		for _, row := range rows {
+			d.MustInsert(name, row...)
+		}
+	}
+	return d
+}
+
+// TestApproxAlphaEdgeCases pins the α boundary semantics and the NULL /
+// empty-relation conventions: α=0 keeps only exact INDs, α=1 keeps even
+// fully-disjoint pairs, a negative α normalizes to 0, relations with no
+// (non-NULL) values participate in no INDs at any α, and NULLs never
+// count against an IND on either side.
+func TestApproxAlphaEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		rels map[string][][]string
+		opts Options
+		want []IND       // must all be reported, with these exact errors
+		ban  [][2]AttrID // must not be reported
+		all  int         // exact total IND count; -1 to skip
+	}{
+		{
+			name: "alpha 0 keeps only exact",
+			rels: map[string][][]string{
+				"r1": {{"x"}, {"y"}},
+				"r2": {{"x"}, {"y"}, {"z"}},
+			},
+			opts: Options{MaxError: 0},
+			want: []IND{{From: AttrID{"r1", 0}, To: AttrID{"r2", 0}, Error: 0}},
+			ban:  [][2]AttrID{{{"r2", 0}, {"r1", 0}}},
+			all:  1,
+		},
+		{
+			name: "alpha 1 keeps fully disjoint pairs",
+			rels: map[string][][]string{
+				"r1": {{"x"}},
+				"r2": {{"q"}},
+			},
+			opts: Options{MaxError: 1},
+			want: []IND{
+				{From: AttrID{"r1", 0}, To: AttrID{"r2", 0}, Error: 1},
+				{From: AttrID{"r2", 0}, To: AttrID{"r1", 0}, Error: 1},
+			},
+			all: 2,
+		},
+		{
+			name: "negative alpha normalizes to exact-only",
+			rels: map[string][][]string{
+				"r1": {{"x"}},
+				"r2": {{"x"}, {"y"}},
+			},
+			opts: Options{MaxError: -0.5},
+			want: []IND{{From: AttrID{"r1", 0}, To: AttrID{"r2", 0}, Error: 0}},
+			ban:  [][2]AttrID{{{"r2", 0}, {"r1", 0}}},
+			all:  1,
+		},
+		{
+			name: "fractional alpha is an inclusive cutoff",
+			rels: map[string][][]string{
+				// r2 covers exactly half of r1's two values: error 0.5.
+				"r1": {{"x"}, {"y"}},
+				"r2": {{"x"}},
+			},
+			opts: Options{MaxError: 0.5},
+			want: []IND{{From: AttrID{"r1", 0}, To: AttrID{"r2", 0}, Error: 0.5}},
+			all:  2, // plus the exact r2 ⊆ r1
+		},
+		{
+			name: "empty relation joins no INDs even at alpha 1",
+			rels: map[string][][]string{
+				"r1":    {{"x"}, {"y"}},
+				"r2":    {{"x"}},
+				"empty": {{""}}, // a single all-NULL row: zero values
+			},
+			opts: Options{MaxError: 1},
+			ban: [][2]AttrID{
+				{{"empty", 0}, {"r1", 0}},
+				{{"r1", 0}, {"empty", 0}},
+			},
+			all: 2,
+		},
+		{
+			name: "all-NULL column behaves as empty",
+			rels: map[string][][]string{
+				"r1": {{"x", ""}, {"y", ""}},
+				"r2": {{"x", "k"}},
+			},
+			opts: Options{MaxError: 1},
+			ban: [][2]AttrID{
+				{{"r1", 1}, {"r2", 1}},
+				{{"r2", 1}, {"r1", 1}},
+				{{"r1", 1}, {"r1", 0}},
+			},
+			all: -1,
+		},
+		{
+			name: "NULL on the left never counts against an IND",
+			rels: map[string][][]string{
+				// r1.a0's values are {NULL, x}; only x is checked, so the
+				// dependency on r2 is exact.
+				"r1": {{""}, {"x"}},
+				"r2": {{"x"}, {"y"}},
+			},
+			opts: Options{MaxError: 0},
+			want: []IND{{From: AttrID{"r1", 0}, To: AttrID{"r2", 0}, Error: 0}},
+			all:  1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := smallDB(t, tc.rels)
+			got := Discover(d, tc.opts)
+			for _, w := range tc.want {
+				g, ok := findIND(got, w.From, w.To)
+				if !ok {
+					t.Errorf("missing IND %v (have %v)", w, got)
+					continue
+				}
+				if g.Error != w.Error {
+					t.Errorf("%v ⊆ %v: error = %v, want %v", w.From, w.To, g.Error, w.Error)
+				}
+			}
+			for _, b := range tc.ban {
+				if g, ok := findIND(got, b[0], b[1]); ok {
+					t.Errorf("unwanted IND reported: %v", g)
+				}
+			}
+			if tc.all >= 0 && len(got) != tc.all {
+				t.Errorf("total INDs = %d, want %d: %v", len(got), tc.all, got)
+			}
+		})
+	}
+}
+
+// TestHoldsNULLSemantics pins the single-candidate checker to the same
+// NULL convention as Discover: NULLs are skipped on the left, and an
+// all-NULL left-hand side is an error (there is nothing to validate).
+func TestHoldsNULLSemantics(t *testing.T) {
+	d := smallDB(t, map[string][][]string{
+		"r1": {{""}, {"x"}},
+		"r2": {{"x"}},
+		"nl": {{""}},
+	})
+	got, err := Holds(d, AttrID{"r1", 0}, AttrID{"r2", 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("NULL-skipping Holds = %v, want 0", got)
+	}
+	if _, err := Holds(d, AttrID{"nl", 0}, AttrID{"r2", 0}); err == nil {
+		t.Error("all-NULL left-hand side must error")
+	}
+}
+
 // Property: on randomly generated databases, Discover must agree with the
 // brute-force Holds check for every reported IND, and must report every
 // pair whose brute-force error is within the threshold.

@@ -12,10 +12,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bottom"
 	"repro/internal/faultpoint"
 	"repro/internal/logic"
+	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/subsume"
 )
@@ -82,6 +84,11 @@ type CoverageEngine struct {
 	// rep records degradation events (nil = don't record). Stored
 	// atomically so SetReport need not race with in-flight workers.
 	rep atomic.Pointer[report.Report]
+
+	// mc receives the engine's metrics (nil = disabled). Set before the
+	// engine is used, like SetWorkers; the collector's own methods are
+	// concurrency-safe, so workers record through it freely.
+	mc *metrics.Collector
 }
 
 // NewCoverage creates an engine over the builder. The subsumption budget
@@ -115,6 +122,15 @@ func (ce *CoverageEngine) SetWorkers(n int) {
 
 // Workers returns the configured pool bound.
 func (ce *CoverageEngine) Workers() int { return ce.workers }
+
+// SetMetrics directs the engine's instrumentation to mc; nil disables
+// it. Must be called before the engine runs tests (same contract as
+// SetWorkers). The subsumption options pick up the collector too, so
+// per-test node counts flow into it.
+func (ce *CoverageEngine) SetMetrics(mc *metrics.Collector) {
+	ce.mc = mc
+	ce.subOpts.Metrics = mc
+}
 
 // SetReport directs degradation events (recovered panics, abandoned
 // counts, exhausted subsumption budgets) to r; nil disables recording.
@@ -159,12 +175,14 @@ func (ce *CoverageEngine) GroundBC(e Example) (*logic.Clause, error) {
 func (ce *CoverageEngine) GroundBCCtx(ctx context.Context, e Example) (g *logic.Clause, err error) {
 	key := e.String()
 	if g, ok := ce.cachedBC(key); ok {
+		ce.mc.Inc(metrics.CoverageBCCacheHits)
 		return g, nil
 	}
 	ce.buildMu.Lock()
 	defer ce.buildMu.Unlock()
 	// Re-check: another goroutine may have built it while we waited.
 	if g, ok := ce.cachedBC(key); ok {
+		ce.mc.Inc(metrics.CoverageBCCacheHits)
 		return g, nil
 	}
 	defer recoverToErr(&err)
@@ -176,6 +194,7 @@ func (ce *CoverageEngine) GroundBCCtx(ctx context.Context, e Example) (g *logic.
 		return nil, fmt.Errorf("learn: ground BC for %v: %w", e, err)
 	}
 	ce.storeBC(key, g)
+	ce.mc.Inc(metrics.CoverageBCBuilt)
 	return g, nil
 }
 
@@ -187,6 +206,7 @@ func (ce *CoverageEngine) GroundBCCtx(ctx context.Context, e Example) (g *logic.
 func (ce *CoverageEngine) groundBCPooled(ctx context.Context, e Example) (g *logic.Clause, err error) {
 	key := e.String()
 	if g, ok := ce.cachedBC(key); ok {
+		ce.mc.Inc(metrics.CoverageBCCacheHits)
 		return g, nil
 	}
 	defer recoverToErr(&err)
@@ -202,8 +222,10 @@ func (ce *CoverageEngine) groundBCPooled(ctx context.Context, e Example) (g *log
 	// First build wins, so every caller sees one canonical BC pointer.
 	if prev, ok := ce.cache[key]; ok {
 		g = prev
+		ce.mc.Inc(metrics.CoverageBCRebuilt)
 	} else {
 		ce.cache[key] = g
+		ce.mc.Inc(metrics.CoverageBCBuilt)
 	}
 	ce.mu.Unlock()
 	return g, nil
@@ -249,6 +271,7 @@ func (ce *CoverageEngine) covers(ctx context.Context, c *logic.Clause, e Example
 	v, ok := ce.results[c][key]
 	ce.mu.RUnlock()
 	if ok {
+		ce.mc.Inc(metrics.CoverageMemoHits)
 		return v, nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -308,6 +331,7 @@ func (ce *CoverageEngine) testCovers(ctx context.Context, c *logic.Clause, e Exa
 		return false, false, err
 	}
 	ce.tests.Add(1)
+	ce.mc.Inc(metrics.CoverageTests)
 	res := subsume.CheckCtx(ctx, c, g, ce.subOpts)
 	if res.Cancelled {
 		if cerr := ctx.Err(); cerr != nil {
@@ -389,6 +413,8 @@ func (ce *CoverageEngine) countBounded(ctx context.Context, c *logic.Clause, exa
 			return 0, err
 		}
 	}
+	spanStart := ce.mc.StartSpan()
+	defer ce.mc.EndSpan(metrics.SpanCoverageCount, spanStart)
 	nw := ce.workers
 	if nw > len(examples) {
 		nw = len(examples)
@@ -438,6 +464,10 @@ func (ce *CoverageEngine) countBounded(ctx context.Context, c *logic.Clause, exa
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			if ce.mc.Enabled() {
+				busyStart := time.Now()
+				defer func() { ce.mc.WorkerBusy(w, time.Since(busyStart)) }()
+			}
 			for i := w; i < len(examples); i += nw {
 				if stop.Load() {
 					return

@@ -12,6 +12,7 @@ import (
 	"repro/internal/bottom"
 	"repro/internal/db"
 	"repro/internal/logic"
+	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/subsume"
 )
@@ -53,6 +54,10 @@ type Options struct {
 	// exact sequential path. Learned definitions are identical at every
 	// worker count: see CoverageEngine for the determinism argument.
 	Workers int
+	// Metrics, when non-nil, collects the run's instrumentation; New
+	// threads it through the bottom builder, the coverage engine, and
+	// subsumption. Nil disables collection at zero cost.
+	Metrics *metrics.Collector
 }
 
 func (o Options) normalized() Options {
@@ -137,9 +142,16 @@ func (l *Learner) expired() bool {
 // New creates a learner over a database and compiled language bias.
 func New(d *db.Database, c *bias.Compiled, opts Options) *Learner {
 	opts = opts.normalized()
+	if opts.Metrics != nil {
+		opts.Bottom.Metrics = opts.Metrics
+		opts.Subsume.Metrics = opts.Metrics
+	}
 	builder := bottom.NewBuilder(d, c, opts.Bottom)
 	cover := NewCoverage(builder, opts.Subsume)
 	cover.SetWorkers(opts.Workers)
+	if opts.Metrics != nil {
+		cover.SetMetrics(opts.Metrics)
+	}
 	return &Learner{
 		db:    d,
 		bias:  c,
@@ -171,6 +183,8 @@ func (l *Learner) Learn(pos, neg []Example) (*logic.Definition, *Stats, error) {
 // error.
 func (l *Learner) LearnCtx(ctx context.Context, pos, neg []Example) (*logic.Definition, *Stats, error) {
 	start := time.Now()
+	spanStart := l.opts.Metrics.StartSpan()
+	defer l.opts.Metrics.EndSpan(metrics.SpanLearn, spanStart)
 	if l.opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, l.opts.Timeout)
@@ -229,6 +243,7 @@ func (l *Learner) LearnCtx(ctx context.Context, pos, neg []Example) (*logic.Defi
 		}
 		def.Add(clause)
 		stats.Clauses++
+		l.opts.Metrics.Inc(metrics.LearnClauses)
 		// Remove every positive the definition now covers.
 		var still []Example
 		interrupted := false
@@ -314,6 +329,7 @@ func (l *Learner) learnClause(ctx context.Context, seed Example, pos, neg []Exam
 
 	evaluate := func(c *logic.Clause) (scored, error) {
 		stats.CandidatesSeen++
+		l.opts.Metrics.Inc(metrics.LearnCandidates)
 		p, err := l.cover.CountCtx(ctx, c, posSample)
 		if err != nil {
 			return scored{}, err
@@ -339,6 +355,7 @@ func (l *Learner) learnClause(ctx context.Context, seed Example, pos, neg []Exam
 			break
 		}
 		stats.RoundsTotal++
+		l.opts.Metrics.Inc(metrics.LearnRounds)
 		sample := l.sampleExamples(pos, l.opts.GeneralizeSample)
 		var candidates []scored
 		for _, b := range beam {

@@ -1,0 +1,554 @@
+// Package metrics is the system's instrumentation layer: a
+// zero-dependency collector of atomic counters, fixed-bucket histograms,
+// and per-stage wall-clock spans, threaded through the hot paths the
+// paper's §6 identifies as where time goes — bottom-clause construction,
+// θ-subsumption coverage testing, and IND discovery.
+//
+// Collection follows the same zero-cost-when-disabled discipline as
+// internal/faultpoint: a disabled collector is a nil *Collector, every
+// method is nil-safe and returns immediately, and no call allocates.
+// Shipping the instrumentation in hot loops therefore costs one
+// predictable nil-check branch; an enabled collector costs one atomic
+// add per event.
+//
+// # Determinism contract
+//
+// Metrics are split into two classes, reflecting the engine's
+// parallel-determinism guarantee (learned theories are bit-identical at
+// every worker count, see DESIGN.md §6):
+//
+//   - Deterministic counters (Snapshot.Counters) count logical work whose
+//     total is a pure function of (task, options) — bottom-clause
+//     literals generated, ground BCs built, IND candidates
+//     validated/pruned, learner rounds/candidates/clauses, examples
+//     scored. The differential harness (internal/testkit) asserts these
+//     are bit-identical at 1, 4, and 8 workers.
+//   - Gauges (Snapshot.Gauges) count work whose total legitimately
+//     depends on scheduling — subsumption tests and nodes (the parallel
+//     CountUpTo early-exit skips tests whose outcome cannot change a
+//     threshold decision), memo and BC-cache hits, per-worker busy time.
+//     These are observability data, never compared for equality.
+//
+// Histograms carry a Deterministic flag with the same meaning. Spans are
+// wall-clock and always non-deterministic.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CounterID identifies one counter. Counters with Deterministic metadata
+// participate in the differential harness's equality checks; the rest
+// are reported as gauges.
+type CounterID int
+
+// Counter identifiers. The comment notes the incrementing site.
+const (
+	// BottomConstructions counts bottom-clause builds (variabilized and
+	// ground). Deterministic: one per (example, kind) in any full run.
+	BottomConstructions CounterID = iota
+	// BottomGroundConstructions counts only the ground BC builds feeding
+	// θ-subsumption coverage (§5). Deterministic.
+	BottomGroundConstructions
+	// BottomLiterals counts body literals emitted across all BC builds.
+	// Deterministic: sampling RNGs are seeded per example, not per worker.
+	BottomLiterals
+	// BottomMaxDepth is the deepest Algorithm 2 iteration that found new
+	// tuples (max-valued, not summed). Deterministic.
+	BottomMaxDepth
+	// INDCandidates counts unary IND candidate pairs checked (§3.1).
+	// Deterministic: discovery is sequential.
+	INDCandidates
+	// INDValidated counts candidates kept (error ≤ α). Deterministic.
+	INDValidated
+	// INDPruned counts candidates rejected (error > α). Deterministic.
+	INDPruned
+	// LearnRounds counts beam-search generalization rounds. Deterministic.
+	LearnRounds
+	// LearnCandidates counts candidate clauses scored (armg products and
+	// FOIL literals). Deterministic.
+	LearnCandidates
+	// LearnClauses counts clauses added to the learned definition.
+	// Deterministic.
+	LearnClauses
+	// EvalExamples counts held-out examples scored by Evaluate.
+	// Deterministic.
+	EvalExamples
+	// CoverageBCBuilt counts distinct ground BCs entered into the
+	// coverage engine's cache. Deterministic: the cached set is the set of
+	// distinct examples tested, regardless of worker count.
+	CoverageBCBuilt
+
+	// --- gauges: totals below depend on scheduling ---
+
+	// CoverageTests counts θ-subsumption coverage tests actually executed
+	// (memo misses). Gauge: the parallel CountUpTo early-exit skips tests
+	// whose outcome cannot change a threshold decision, so the total
+	// varies with worker count even though results never do.
+	CoverageTests
+	// CoverageMemoHits counts per-(clause,example) memo hits. Gauge.
+	CoverageMemoHits
+	// CoverageBCCacheHits counts ground-BC cache hits. Gauge: the
+	// parallel prefetch probes the cache once per example per count.
+	CoverageBCCacheHits
+	// CoverageBCRebuilt counts pooled BC builds that lost the
+	// first-build-wins race (external concurrent callers only). Gauge.
+	CoverageBCRebuilt
+	// SubsumeTests counts θ-subsumption checks. Gauge (same early-exit
+	// reasoning as CoverageTests).
+	SubsumeTests
+	// SubsumeNodes counts binding attempts across all subsumption passes
+	// — the paper's dominant cost (§5). Gauge.
+	SubsumeNodes
+	// SubsumeBudgetExhausted counts tests that gave up their node budget
+	// and answered sound-negative (§5's approximation). Gauge.
+	SubsumeBudgetExhausted
+
+	numCounters
+)
+
+// counterKind distinguishes summed counters from max-valued ones.
+type counterKind int
+
+const (
+	kindSum counterKind = iota
+	kindMax
+)
+
+type counterDef struct {
+	name          string
+	deterministic bool
+	kind          counterKind
+}
+
+// Name returns the counter's stable snapshot key (e.g.
+// "bottom.constructions").
+func (c CounterID) Name() string { return counterDefs[c].name }
+
+// counterDefs is indexed by CounterID. Names are stable: they appear in
+// -metrics JSON files, the /metrics endpoint, and DESIGN.md §9.
+var counterDefs = [numCounters]counterDef{
+	BottomConstructions:       {"bottom.constructions", true, kindSum},
+	BottomGroundConstructions: {"bottom.ground_constructions", true, kindSum},
+	BottomLiterals:            {"bottom.literals", true, kindSum},
+	BottomMaxDepth:            {"bottom.max_depth", true, kindMax},
+	INDCandidates:             {"ind.candidates", true, kindSum},
+	INDValidated:              {"ind.validated", true, kindSum},
+	INDPruned:                 {"ind.pruned", true, kindSum},
+	LearnRounds:               {"learn.rounds", true, kindSum},
+	LearnCandidates:           {"learn.candidates", true, kindSum},
+	LearnClauses:              {"learn.clauses", true, kindSum},
+	EvalExamples:              {"eval.examples_scored", true, kindSum},
+	CoverageBCBuilt:           {"coverage.bc_built", true, kindSum},
+	CoverageTests:             {"coverage.tests", false, kindSum},
+	CoverageMemoHits:          {"coverage.memo_hits", false, kindSum},
+	CoverageBCCacheHits:       {"coverage.bc_cache_hits", false, kindSum},
+	CoverageBCRebuilt:         {"coverage.bc_rebuilt", false, kindSum},
+	SubsumeTests:              {"subsume.tests", false, kindSum},
+	SubsumeNodes:              {"subsume.nodes", false, kindSum},
+	SubsumeBudgetExhausted:    {"subsume.budget_exhausted", false, kindSum},
+}
+
+// HistID identifies one histogram.
+type HistID int
+
+const (
+	// HistBottomLiterals distributes BC body sizes. Deterministic.
+	HistBottomLiterals HistID = iota
+	// HistINDErrorPct distributes validated INDs' error rates, in integer
+	// percent. Deterministic.
+	HistINDErrorPct
+	// HistSubsumeNodes distributes per-test binding attempts. Gauge-class
+	// (the executed test set depends on scheduling).
+	HistSubsumeNodes
+
+	numHists
+)
+
+type histDef struct {
+	name          string
+	deterministic bool
+	// bounds are inclusive upper bucket bounds ("≤ bound"); one implicit
+	// overflow bucket follows. Fixed at compile time so histograms from
+	// different runs and worker counts are always mergeable and
+	// comparable.
+	bounds []int64
+}
+
+var histDefs = [numHists]histDef{
+	HistBottomLiterals: {"bottom.literals_per_clause", true,
+		[]int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}},
+	HistINDErrorPct: {"ind.error_rate_pct", true,
+		[]int64{0, 1, 5, 10, 25, 50, 75, 100}},
+	HistSubsumeNodes: {"subsume.nodes_per_test", false,
+		[]int64{0, 10, 100, 1000, 10000, 100000, 1000000}},
+}
+
+// SpanID identifies one wall-clock stage span.
+type SpanID int
+
+const (
+	// SpanBiasInduce covers §3 bias induction end to end.
+	SpanBiasInduce SpanID = iota
+	// SpanINDDiscover covers Binder-style IND discovery (§3.1).
+	SpanINDDiscover
+	// SpanBottomConstruct covers one bottom-clause build (§2.3.1, §4).
+	SpanBottomConstruct
+	// SpanCoverageCount covers one coverage count fan-out (§5).
+	SpanCoverageCount
+	// SpanLearn covers one learning run (Algorithm 1).
+	SpanLearn
+	// SpanEval covers one held-out evaluation pass.
+	SpanEval
+	// SpanDatagen covers benchmark dataset generation.
+	SpanDatagen
+
+	numSpans
+)
+
+var spanNames = [numSpans]string{
+	SpanBiasInduce:      "bias.induce",
+	SpanINDDiscover:     "ind.discover",
+	SpanBottomConstruct: "bottom.construct",
+	SpanCoverageCount:   "coverage.count",
+	SpanLearn:           "learn.run",
+	SpanEval:            "eval.evaluate",
+	SpanDatagen:         "datagen.generate",
+}
+
+type histState struct {
+	counts []atomic.Int64 // len(bounds)+1, last bucket is overflow
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+type spanState struct {
+	totalNS atomic.Int64
+	n       atomic.Int64
+}
+
+// Collector accumulates metrics for one run (or, when shared via the
+// facade's Options.Collector, across many runs). A nil *Collector is the
+// disabled collector: every method no-ops without allocating, so
+// instrumented code records unconditionally. All methods are safe for
+// concurrent use.
+type Collector struct {
+	counters [numCounters]atomic.Int64
+	hists    [numHists]histState
+	spans    [numSpans]spanState
+
+	// workerBusy tracks cumulative busy time per coverage-pool worker
+	// index; grown under mu, summed into the snapshot as gauges.
+	mu         sync.Mutex
+	workerBusy []int64
+}
+
+// New returns an enabled, empty collector.
+func New() *Collector {
+	c := &Collector{}
+	for i := range c.hists {
+		c.hists[i].counts = make([]atomic.Int64, len(histDefs[i].bounds)+1)
+	}
+	return c
+}
+
+// Enabled reports whether the collector records (false for nil). Hot
+// call sites use it to skip building derived values when disabled.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Inc adds one to a counter.
+func (c *Collector) Inc(id CounterID) {
+	if c == nil {
+		return
+	}
+	c.counters[id].Add(1)
+}
+
+// Add adds delta to a counter.
+func (c *Collector) Add(id CounterID, delta int64) {
+	if c == nil {
+		return
+	}
+	c.counters[id].Add(delta)
+}
+
+// SetMax raises a max-valued counter to v if v is larger.
+func (c *Collector) SetMax(id CounterID, v int64) {
+	if c == nil {
+		return
+	}
+	for {
+		cur := c.counters[id].Load()
+		if v <= cur || c.counters[id].CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Counter returns a counter's current value (0 when disabled).
+func (c *Collector) Counter(id CounterID) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.counters[id].Load()
+}
+
+// Observe records one histogram observation.
+func (c *Collector) Observe(id HistID, v int64) {
+	if c == nil {
+		return
+	}
+	h := &c.hists[id]
+	h.sum.Add(v)
+	h.n.Add(1)
+	bounds := histDefs[id].bounds
+	for i, b := range bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[len(bounds)].Add(1)
+}
+
+// StartSpan returns the span's start time, or the zero time when
+// disabled (so the disabled path never calls time.Now).
+func (c *Collector) StartSpan() time.Time {
+	if c == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// EndSpan records the elapsed wall-clock of a stage started at start.
+// A zero start (disabled collector at StartSpan time) records nothing.
+func (c *Collector) EndSpan(id SpanID, start time.Time) {
+	if c == nil || start.IsZero() {
+		return
+	}
+	c.spans[id].totalNS.Add(int64(time.Since(start)))
+	c.spans[id].n.Add(1)
+}
+
+// WorkerBusy credits busy wall-clock to one coverage-pool worker index.
+// Per-worker utilization is inherently scheduling-dependent and is
+// reported under Gauges.
+func (c *Collector) WorkerBusy(worker int, d time.Duration) {
+	if c == nil || worker < 0 {
+		return
+	}
+	c.mu.Lock()
+	for len(c.workerBusy) <= worker {
+		c.workerBusy = append(c.workerBusy, 0)
+	}
+	c.workerBusy[worker] += int64(d)
+	c.mu.Unlock()
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time. Counts
+// has one entry per bound plus a final overflow bucket.
+type HistogramSnapshot struct {
+	Deterministic bool    `json:"deterministic"`
+	Bounds        []int64 `json:"bounds"`
+	Counts        []int64 `json:"counts"`
+	Count         int64   `json:"count"`
+	Sum           int64   `json:"sum"`
+}
+
+// SpanSnapshot is one stage's accumulated wall-clock.
+type SpanSnapshot struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+}
+
+// Snapshot is a point-in-time copy of a collector, the unit exposed on
+// the facade (Result.Metrics), written by the CLIs' -metrics flags, and
+// served by cmd/experiments' /metrics endpoint. Counters holds only the
+// deterministic counters; everything scheduling-dependent is under
+// Gauges (including per-worker busy nanoseconds as
+// "coverage.worker_busy_ns.<i>").
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Spans      map[string]SpanSnapshot      `json:"spans"`
+}
+
+// Snapshot copies the collector's current state. Snapshotting a live
+// collector is safe; the copy is internally consistent per metric but
+// not across metrics.
+func (c *Collector) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+		Spans:      make(map[string]SpanSnapshot),
+	}
+	if c == nil {
+		return s
+	}
+	for id, def := range counterDefs {
+		v := c.counters[id].Load()
+		if def.deterministic {
+			s.Counters[def.name] = v
+		} else {
+			s.Gauges[def.name] = v
+		}
+	}
+	for id, def := range histDefs {
+		h := &c.hists[id]
+		hs := HistogramSnapshot{
+			Deterministic: def.deterministic,
+			Bounds:        append([]int64(nil), def.bounds...),
+			Counts:        make([]int64, len(h.counts)),
+			Count:         h.n.Load(),
+			Sum:           h.sum.Load(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[def.name] = hs
+	}
+	for id, name := range spanNames {
+		sp := &c.spans[id]
+		if n := sp.n.Load(); n > 0 {
+			s.Spans[name] = SpanSnapshot{Count: n, TotalNS: sp.totalNS.Load()}
+		}
+	}
+	c.mu.Lock()
+	for w, busy := range c.workerBusy {
+		s.Gauges[fmt.Sprintf("coverage.worker_busy_ns.%d", w)] = busy
+	}
+	c.mu.Unlock()
+	return s
+}
+
+// Merge folds another snapshot into s: sums for counters, gauges,
+// histogram buckets and spans; max for max-valued counters. Used by
+// cmd/experiments to aggregate across cells.
+func (s *Snapshot) Merge(o Snapshot) {
+	maxNames := make(map[string]bool)
+	for _, def := range counterDefs {
+		if def.kind == kindMax {
+			maxNames[def.name] = true
+		}
+	}
+	mergeInts := func(dst map[string]int64, src map[string]int64) {
+		for k, v := range src {
+			if maxNames[k] {
+				if v > dst[k] {
+					dst[k] = v
+				}
+			} else {
+				dst[k] += v
+			}
+		}
+	}
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64)
+	}
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]int64)
+	}
+	if s.Histograms == nil {
+		s.Histograms = make(map[string]HistogramSnapshot)
+	}
+	if s.Spans == nil {
+		s.Spans = make(map[string]SpanSnapshot)
+	}
+	mergeInts(s.Counters, o.Counters)
+	mergeInts(s.Gauges, o.Gauges)
+	for name, oh := range o.Histograms {
+		h, ok := s.Histograms[name]
+		if !ok {
+			oh.Bounds = append([]int64(nil), oh.Bounds...)
+			oh.Counts = append([]int64(nil), oh.Counts...)
+			s.Histograms[name] = oh
+			continue
+		}
+		for i := range h.Counts {
+			if i < len(oh.Counts) {
+				h.Counts[i] += oh.Counts[i]
+			}
+		}
+		h.Count += oh.Count
+		h.Sum += oh.Sum
+		s.Histograms[name] = h
+	}
+	for name, osp := range o.Spans {
+		sp := s.Spans[name]
+		sp.Count += osp.Count
+		sp.TotalNS += osp.TotalNS
+		s.Spans[name] = sp
+	}
+}
+
+// DeterministicDiff compares the deterministic portions of two
+// snapshots — Counters and deterministic Histograms — and returns one
+// human-readable line per divergence (empty means identical). This is
+// the equality the differential harness asserts across worker counts.
+func (s Snapshot) DeterministicDiff(o Snapshot) []string {
+	var diffs []string
+	names := make(map[string]bool)
+	for k := range s.Counters {
+		names[k] = true
+	}
+	for k := range o.Counters {
+		names[k] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for k := range names {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		if a, b := s.Counters[k], o.Counters[k]; a != b {
+			diffs = append(diffs, fmt.Sprintf("counter %s: %d != %d", k, a, b))
+		}
+	}
+	hnames := make(map[string]bool)
+	for k, h := range s.Histograms {
+		if h.Deterministic {
+			hnames[k] = true
+		}
+	}
+	for k, h := range o.Histograms {
+		if h.Deterministic {
+			hnames[k] = true
+		}
+	}
+	sorted = sorted[:0]
+	for k := range hnames {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		a, b := s.Histograms[k], o.Histograms[k]
+		if a.Count != b.Count || a.Sum != b.Sum {
+			diffs = append(diffs, fmt.Sprintf("histogram %s: count/sum %d/%d != %d/%d", k, a.Count, a.Sum, b.Count, b.Sum))
+			continue
+		}
+		for i := range a.Counts {
+			if i < len(b.Counts) && a.Counts[i] != b.Counts[i] {
+				diffs = append(diffs, fmt.Sprintf("histogram %s bucket %d: %d != %d", k, i, a.Counts[i], b.Counts[i]))
+			}
+		}
+	}
+	return diffs
+}
+
+// WriteFile writes the snapshot as indented JSON, the format of the
+// CLIs' -metrics flag.
+func (s Snapshot) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

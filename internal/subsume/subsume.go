@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/faultpoint"
 	"repro/internal/logic"
+	"repro/internal/metrics"
 )
 
 // Options bounds the search.
@@ -49,6 +50,12 @@ type Options struct {
 	// Seed seeds the restart shuffles; 0 selects a fixed default so runs
 	// are reproducible.
 	Seed int64
+	// Metrics, when non-nil, receives per-test counters (tests run, nodes
+	// expanded, budget exhaustions). Subsumption totals are gauges: the
+	// parallel coverage engine's early exit changes which tests run, so
+	// they are never compared across worker counts (see the metrics
+	// package's determinism contract).
+	Metrics *metrics.Collector
 }
 
 func (o Options) normalized() Options {
@@ -102,7 +109,21 @@ func SubsumesCtx(ctx context.Context, c, g *logic.Clause, opts Options) bool {
 // interrupt mid-test rather than waiting out the node budget.
 func CheckCtx(ctx context.Context, c, g *logic.Clause, opts Options) Result {
 	opts = opts.normalized()
+	res := checkCtx(ctx, c, g, opts)
+	if mc := opts.Metrics; mc.Enabled() {
+		mc.Inc(metrics.SubsumeTests)
+		mc.Add(metrics.SubsumeNodes, int64(res.Nodes))
+		mc.Observe(metrics.HistSubsumeNodes, int64(res.Nodes))
+		if !res.Complete && !res.Cancelled {
+			mc.Inc(metrics.SubsumeBudgetExhausted)
+		}
+	}
+	return res
+}
 
+// checkCtx is CheckCtx's engine, with opts already normalized and
+// instrumentation applied by the caller on every exit path.
+func checkCtx(ctx context.Context, c, g *logic.Clause, opts Options) Result {
 	if faultpoint.Enabled() {
 		if err := faultpoint.Inject(ctx, "subsume.check"); err != nil {
 			// An injected error (or a cancelled injected delay) aborts the

@@ -1,0 +1,3 @@
+% golden learned theory — regenerate with: go test -run TestGoldenTheories -update
+%% dataset=flt scale=0.1 seed=1 method=autobias workers=1 pos=12 neg=60
+throughLoc(V0) :- flight(V0,apt_0000,V2), leg(V0,apt_0001,V4).

@@ -1,0 +1,3 @@
+% golden learned theory — regenerate with: go test -run TestGoldenTheories -update
+%% dataset=hiv scale=0.1 seed=1 method=autobias workers=1 pos=12 neg=60
+antiHIV(V0) :- atm(V1,V0,V2), atm(V1,V0,o), atm(V13,V0,V14), atm(V13,V0,n), atm(V24,V0,V14), atm(V25,V0,V2), bnd(V240,V24,V25,double).

@@ -1,0 +1,3 @@
+% golden learned theory — regenerate with: go test -run TestGoldenTheories -update
+%% dataset=imdb scale=0.1 seed=1 method=autobias workers=1 pos=12 neg=60
+dramaDirector(V0) :- directed(V0,V3), genre(V3,g_drama).

@@ -1,0 +1,3 @@
+% golden learned theory — regenerate with: go test -run TestGoldenTheories -update
+%% dataset=sys scale=0.1 seed=1 method=autobias workers=1 pos=12 neg=60
+malicious(V0) :- event(V0,V1,f_net_spool,write,V6), event(V0,V1,f_cred_store,read,V6).
