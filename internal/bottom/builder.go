@@ -99,6 +99,12 @@ type Builder struct {
 	bias *bias.Compiled
 	opts Options
 	rng  *rand.Rand
+	// intern, when non-nil, receives every predicate name and ground
+	// constant the builder emits, so ground bottom clauses arrive at the
+	// subsumption compiler (subsume.CompileGround) with their strings
+	// already interned. The table is shared by clones (it is internally
+	// locked); the coverage engine installs its per-task interner here.
+	intern *logic.Interner
 	// done is the cancellation channel of the build in progress (nil
 	// between builds). Builders are single-goroutine by contract (see
 	// above), so holding per-build state here lets the samplers' deep
@@ -149,11 +155,19 @@ func (b *Builder) Clone() *Builder {
 // a deterministic per-worker or per-example seed so sampled clauses do
 // not depend on goroutine scheduling.
 func (b *Builder) CloneSeeded(seed int64) *Builder {
-	return &Builder{db: b.db, bias: b.bias, opts: b.opts, rng: rand.New(rand.NewSource(seed))}
+	return &Builder{db: b.db, bias: b.bias, opts: b.opts, rng: rand.New(rand.NewSource(seed)), intern: b.intern}
 }
 
 // Options returns the builder's normalized options.
 func (b *Builder) Options() Options { return b.opts }
+
+// Database returns the builder's (shared, read-only) database.
+func (b *Builder) Database() *db.Database { return b.db }
+
+// SetInterner directs emitted predicate names and ground constants into
+// the table (nil disables interning). Set before building, like the
+// engine-level Set* methods; clones made afterwards share the table.
+func (b *Builder) SetInterner(in *logic.Interner) { b.intern = in }
 
 // Construct builds the (variabilized) bottom clause for the example,
 // which must be a ground literal of the target relation.
@@ -348,6 +362,24 @@ func (st *state) seedHead(example logic.Literal) {
 		st.noteConstant(t.Name, st.b.bias.TypesOf(st.b.bias.Target(), i))
 	}
 	st.head = logic.Literal{Predicate: example.Predicate, Terms: terms}
+	st.internLiteral(st.head)
+}
+
+// internLiteral warms the shared intern table with a ground literal's
+// strings, so the subsumption compiler's Intern calls all take the
+// read-locked fast path. Only ground builds intern: variabilized bottom
+// clauses are never compiled as a ground side.
+func (st *state) internLiteral(l logic.Literal) {
+	in := st.b.intern
+	if in == nil || !st.ground {
+		return
+	}
+	in.Intern(l.Predicate)
+	for _, t := range l.Terms {
+		if t.IsConst() {
+			in.Intern(t.Name)
+		}
+	}
 }
 
 // addTuple converts a discovered tuple into one literal per applicable
@@ -379,6 +411,7 @@ func (st *state) addTuple(ft foundTuple) {
 			continue
 		}
 		st.seen[key] = true
+		st.internLiteral(l)
 		st.body = append(st.body, l)
 		if st.full() {
 			return

@@ -32,19 +32,23 @@ func ARMG(c *logic.Clause, ground *logic.Clause, opts subsume.Options) *logic.Cl
 // caller observes the cancellation via ctx and discards the result, so
 // the truncation is harmless — it only bounds how much work is wasted.
 func ARMGCtx(ctx context.Context, c *logic.Clause, ground *logic.Clause, opts subsume.Options) *logic.Clause {
+	// The pass tests up to len(c.Body)+2 candidates against the one
+	// ground clause, so compile its index once and share it (the ids
+	// stay private to this call's interner).
+	cg := subsume.CompileGround(nil, ground)
 	head := &logic.Clause{Head: c.Head}
-	if !subsume.SubsumesCtx(ctx, head, ground, opts) {
+	if !subsume.CheckCompiledCtx(ctx, head, cg, opts).Subsumes {
 		return nil
 	}
 	// Fast path: the clause may already cover the example.
-	if subsume.SubsumesCtx(ctx, c, ground, opts) {
+	if subsume.CheckCompiledCtx(ctx, c, cg, opts).Subsumes {
 		return c.PruneNotHeadConnected()
 	}
 	kept := make([]logic.Literal, 0, len(c.Body))
 	trial := &logic.Clause{Head: c.Head}
 	for _, lit := range c.Body {
 		trial.Body = append(kept, lit)
-		if subsume.SubsumesCtx(ctx, trial, ground, opts) {
+		if subsume.CheckCompiledCtx(ctx, trial, cg, opts).Subsumes {
 			kept = trial.Body
 		}
 	}
@@ -58,10 +62,11 @@ func ARMGCtx(ctx context.Context, c *logic.Clause, ground *logic.Clause, opts su
 // so binary search applies. Exported within the package for tests and
 // for callers that need the blocking index itself.
 func firstBlocking(head logic.Literal, body []logic.Literal, ground *logic.Clause, opts subsume.Options) int {
+	cg := subsume.CompileGround(nil, ground)
 	lo, hi := 0, len(body)-1 // invariant: prefix through hi fails
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if subsume.Subsumes(&logic.Clause{Head: head, Body: body[:mid+1]}, ground, opts) {
+		if subsume.CheckCompiled(&logic.Clause{Head: head, Body: body[:mid+1]}, cg, opts).Subsumes {
 			lo = mid + 1
 		} else {
 			hi = mid

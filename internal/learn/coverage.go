@@ -65,18 +65,30 @@ type CoverageEngine struct {
 	subOpts subsume.Options
 	workers int
 
-	// mu guards cache and results. buildMu serializes the shared
+	// in is the engine's intern table: predicate names and ground
+	// constants mapped to dense int32 ids for the subsumption compiler.
+	// Seeded deterministically from the task schema in NewCoverage,
+	// grown by ground-BC compilation (sequential in the prefetch pass),
+	// and installed on the builder so BC construction emits
+	// pre-interned literals.
+	in *logic.Interner
+
+	// mu guards cache, results and seeds. buildMu serializes the shared
 	// builder, whose RNG makes it unsafe for concurrent use (see
 	// bottom.Builder.Clone); it is separate from mu so cached reads
 	// never wait on a BC under construction.
 	mu      sync.RWMutex
 	buildMu sync.Mutex
-	cache   map[string]*logic.Clause
+	cache   map[string]*groundEntry
 	// results memoizes Covers outcomes by clause identity. Clauses are
 	// immutable once built by the learner, so pointer identity is a safe
 	// and allocation-free key. Isolated failures memoize false, which is
 	// what keeps a panicking example from perturbing later decisions.
 	results map[*logic.Clause]map[string]bool
+	// seeds memoizes the per-example clone seed for the pooled BC-miss
+	// fallback, so the example key is hashed once per example rather
+	// than on every miss.
+	seeds map[string]int64
 
 	// tests counts subsumption checks, for instrumentation.
 	tests atomic.Int64
@@ -100,13 +112,37 @@ func NewCoverage(builder *bottom.Builder, subOpts subsume.Options) *CoverageEngi
 	if subOpts.MaxNodes <= 0 {
 		subOpts.MaxNodes = 10000
 	}
+	// The intern table starts from the task schema (relation names in
+	// schema order — deterministic for a given task) and grows with the
+	// constants of compiled ground BCs. Installing it on the builder
+	// makes BC construction emit pre-interned literals, so compilation
+	// takes the read-locked fast path.
+	in := logic.NewInterner()
+	if d := builder.Database(); d != nil {
+		if s := d.Schema(); s != nil {
+			in.InternAll(s.Names()...)
+		}
+	}
+	builder.SetInterner(in)
 	return &CoverageEngine{
 		builder: builder,
 		subOpts: subOpts,
 		workers: 1,
-		cache:   make(map[string]*logic.Clause),
+		in:      in,
+		cache:   make(map[string]*groundEntry),
 		results: make(map[*logic.Clause]map[string]bool),
+		seeds:   make(map[string]int64),
 	}
+}
+
+// groundEntry pairs a cached ground BC with its compiled subsumption
+// index. The compiled form is a pure function of the BC (see
+// subsume.CompileGround), and the two are stored together under one
+// lock, so "BC cached ⇒ index cached" holds everywhere and parallelism
+// cannot perturb either.
+type groundEntry struct {
+	bc *logic.Clause
+	cg *subsume.CompiledGround
 }
 
 // SetWorkers bounds the coverage worker pool; n <= 0 selects
@@ -172,80 +208,112 @@ func (ce *CoverageEngine) GroundBC(e Example) (*logic.Clause, error) {
 // GroundBCCtx is GroundBC with cancellation: ctx interrupts an in-flight
 // construction. A panic during construction is converted to an error
 // (the callers isolate it per example).
-func (ce *CoverageEngine) GroundBCCtx(ctx context.Context, e Example) (g *logic.Clause, err error) {
-	key := e.String()
-	if g, ok := ce.cachedBC(key); ok {
+func (ce *CoverageEngine) GroundBCCtx(ctx context.Context, e Example) (*logic.Clause, error) {
+	ent, err := ce.groundEntryCtx(ctx, e.String(), e)
+	if err != nil {
+		return nil, err
+	}
+	return ent.bc, nil
+}
+
+// groundEntryCtx returns the cached (BC, compiled index) pair for the
+// example, building and compiling under buildMu on a miss — the
+// sequential prefetch pass funnels through here, so intern-table growth
+// and compilation order match the sequential engine exactly.
+func (ce *CoverageEngine) groundEntryCtx(ctx context.Context, key string, e Example) (ent *groundEntry, err error) {
+	if ent, ok := ce.cachedEntry(key); ok {
 		ce.mc.Inc(metrics.CoverageBCCacheHits)
-		return g, nil
+		return ent, nil
 	}
 	ce.buildMu.Lock()
 	defer ce.buildMu.Unlock()
 	// Re-check: another goroutine may have built it while we waited.
-	if g, ok := ce.cachedBC(key); ok {
+	if ent, ok := ce.cachedEntry(key); ok {
 		ce.mc.Inc(metrics.CoverageBCCacheHits)
-		return g, nil
+		return ent, nil
 	}
 	defer recoverToErr(&err)
-	g, err = ce.builder.ConstructGroundCtx(ctx, e)
+	g, err := ce.builder.ConstructGroundCtx(ctx, e)
 	if err != nil {
 		if isCtxErr(err) {
 			ce.recordEvent(report.Event{Kind: report.BottomAbandoned, Site: "bottom.construct", Example: key})
 		}
 		return nil, fmt.Errorf("learn: ground BC for %v: %w", e, err)
 	}
-	ce.storeBC(key, g)
+	ent = &groundEntry{bc: g, cg: subsume.CompileGround(ce.in, g)}
+	ce.mu.Lock()
+	ce.cache[key] = ent
+	ce.mu.Unlock()
 	ce.mc.Inc(metrics.CoverageBCBuilt)
-	return g, nil
+	ce.mc.Inc(metrics.CoverageCGBuilt)
+	return ent, nil
 }
 
-// groundBCPooled is the pool workers' BC access: a cache hit is shared,
-// a miss is built on a clone of the builder seeded from the example key,
-// so the result is identical no matter which worker gets there first.
-// (Count prefetches, so this miss path only fires for concurrent
-// external Covers callers — or when the prefetch itself was isolated.)
-func (ce *CoverageEngine) groundBCPooled(ctx context.Context, e Example) (g *logic.Clause, err error) {
-	key := e.String()
-	if g, ok := ce.cachedBC(key); ok {
+// groundEntryPooled is the pool workers' BC access: a cache hit is
+// shared, a miss is built on a clone of the builder seeded from the
+// example key, so the result is identical no matter which worker gets
+// there first. (Count prefetches, so this miss path only fires for
+// concurrent external Covers callers — or when the prefetch itself was
+// isolated.)
+func (ce *CoverageEngine) groundEntryPooled(ctx context.Context, key string, e Example) (ent *groundEntry, err error) {
+	if ent, ok := ce.cachedEntry(key); ok {
 		ce.mc.Inc(metrics.CoverageBCCacheHits)
-		return g, nil
+		return ent, nil
 	}
 	defer recoverToErr(&err)
-	b := ce.builder.CloneSeeded(deriveSeed(ce.subOpts.Seed, key))
-	g, err = b.ConstructGroundCtx(ctx, e)
+	b := ce.builder.CloneSeeded(ce.seedFor(key))
+	g, err := b.ConstructGroundCtx(ctx, e)
 	if err != nil {
 		if isCtxErr(err) {
 			ce.recordEvent(report.Event{Kind: report.BottomAbandoned, Site: "bottom.construct", Example: key})
 		}
 		return nil, fmt.Errorf("learn: ground BC for %v: %w", e, err)
 	}
+	built := &groundEntry{bc: g, cg: subsume.CompileGround(ce.in, g)}
 	ce.mu.Lock()
-	// First build wins, so every caller sees one canonical BC pointer.
+	// First build wins, so every caller sees one canonical entry.
 	if prev, ok := ce.cache[key]; ok {
-		g = prev
+		ent = prev
 		ce.mc.Inc(metrics.CoverageBCRebuilt)
 	} else {
-		ce.cache[key] = g
+		ce.cache[key] = built
+		ent = built
 		ce.mc.Inc(metrics.CoverageBCBuilt)
+		ce.mc.Inc(metrics.CoverageCGBuilt)
 	}
 	ce.mu.Unlock()
-	return g, nil
+	return ent, nil
 }
 
-func (ce *CoverageEngine) cachedBC(key string) (*logic.Clause, bool) {
+func (ce *CoverageEngine) cachedEntry(key string) (*groundEntry, bool) {
 	ce.mu.RLock()
-	g, ok := ce.cache[key]
+	ent, ok := ce.cache[key]
 	ce.mu.RUnlock()
-	return g, ok
+	return ent, ok
 }
 
-func (ce *CoverageEngine) storeBC(key string, g *logic.Clause) {
+// seedFor returns the example's clone seed, deriving it once per
+// example (memoized under mu) instead of re-hashing the key on every
+// cache miss.
+func (ce *CoverageEngine) seedFor(key string) int64 {
+	ce.mu.RLock()
+	s, ok := ce.seeds[key]
+	ce.mu.RUnlock()
+	if ok {
+		return s
+	}
+	s = deriveSeed(ce.subOpts.Seed, key)
 	ce.mu.Lock()
-	ce.cache[key] = g
+	ce.seeds[key] = s
 	ce.mu.Unlock()
+	return s
 }
 
 // deriveSeed maps (base seed, example key) to a deterministic RNG seed
 // for order-independent BC construction off the pool's builder clones.
+// The mapping is pinned by TestDeriveSeedStable: golden theories depend
+// on it whenever the pooled fallback fires, so changing it is a
+// breaking change to learned-theory stability.
 func deriveSeed(base int64, key string) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(key))
@@ -297,7 +365,7 @@ func (ce *CoverageEngine) covers(ctx context.Context, c *logic.Clause, e Example
 			return ce.isolate(c, key, err)
 		}
 	}
-	v, complete, err := ce.testCovers(ctx, c, e, pooled)
+	v, complete, err := ce.testCovers(ctx, c, e, key, pooled)
 	if err != nil {
 		var pe *panicErr
 		if errors.As(err, &pe) {
@@ -316,23 +384,26 @@ func (ce *CoverageEngine) covers(ctx context.Context, c *logic.Clause, e Example
 	return v, nil
 }
 
-// testCovers runs the actual test — BC fetch plus subsumption — with
-// panics converted to *panicErr. complete reports whether the
-// subsumption answer was exact (§5's approximation note).
-func (ce *CoverageEngine) testCovers(ctx context.Context, c *logic.Clause, e Example, pooled bool) (v, complete bool, err error) {
+// testCovers runs the actual test — compiled-ground fetch plus
+// subsumption — with panics converted to *panicErr. complete reports
+// whether the subsumption answer was exact (§5's approximation note).
+// The ground side arrives pre-compiled from the engine's cache, so the
+// per-test cost is compiling the candidate clause and searching.
+func (ce *CoverageEngine) testCovers(ctx context.Context, c *logic.Clause, e Example, key string, pooled bool) (v, complete bool, err error) {
 	defer recoverToErr(&err)
-	var g *logic.Clause
+	var ent *groundEntry
 	if pooled {
-		g, err = ce.groundBCPooled(ctx, e)
+		ent, err = ce.groundEntryPooled(ctx, key, e)
 	} else {
-		g, err = ce.GroundBCCtx(ctx, e)
+		ent, err = ce.groundEntryCtx(ctx, key, e)
 	}
 	if err != nil {
 		return false, false, err
 	}
 	ce.tests.Add(1)
 	ce.mc.Inc(metrics.CoverageTests)
-	res := subsume.CheckCtx(ctx, c, g, ce.subOpts)
+	ce.mc.Inc(metrics.CoverageCGHits)
+	res := subsume.CheckCompiledCtx(ctx, c, ent.cg, ce.subOpts)
 	if res.Cancelled {
 		if cerr := ctx.Err(); cerr != nil {
 			return false, false, cerr

@@ -1,0 +1,82 @@
+package logic
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternerDenseIDs(t *testing.T) {
+	in := NewInterner()
+	if got := in.Len(); got != 1 {
+		t.Fatalf("fresh interner Len = %d, want 1 (reserved empty string)", got)
+	}
+	if id := in.Intern(""); id != 0 {
+		t.Fatalf("empty string id = %d, want reserved 0", id)
+	}
+	a := in.Intern("advisedBy")
+	b := in.Intern("student")
+	if a != 1 || b != 2 {
+		t.Fatalf("ids not dense in intern order: got %d, %d", a, b)
+	}
+	if again := in.Intern("advisedBy"); again != a {
+		t.Fatalf("re-intern changed id: %d != %d", again, a)
+	}
+	if v := in.Value(a); v != "advisedBy" {
+		t.Fatalf("Value(%d) = %q", a, v)
+	}
+	if _, ok := in.Lookup("missing"); ok {
+		t.Fatal("Lookup must not assign ids")
+	}
+	if in.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", in.Len())
+	}
+	if id, ok := in.Lookup("student"); !ok || id != b {
+		t.Fatalf("Lookup(student) = %d,%v", id, ok)
+	}
+}
+
+func TestInternerSeedingDeterministic(t *testing.T) {
+	schema := []string{"advisedBy", "student", "professor", "publication"}
+	a, b := NewInterner(), NewInterner()
+	a.InternAll(schema...)
+	b.InternAll(schema...)
+	for _, s := range schema {
+		ia, _ := a.Lookup(s)
+		ib, _ := b.Lookup(s)
+		if ia != ib {
+			t.Fatalf("seeded ids diverge for %q: %d != %d", s, ia, ib)
+		}
+	}
+}
+
+// TestInternerConcurrent exercises the growable table under -race:
+// concurrent Intern calls of overlapping strings must agree on one id
+// per string.
+func TestInternerConcurrent(t *testing.T) {
+	in := NewInterner()
+	const goroutines, vals = 8, 200
+	ids := make([][]int32, goroutines)
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids[w] = make([]int32, vals)
+			for i := 0; i < vals; i++ {
+				ids[w][i] = in.Intern(fmt.Sprintf("c%d", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < goroutines; w++ {
+		for i := 0; i < vals; i++ {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d got id %d for c%d, worker 0 got %d", w, ids[w][i], i, ids[0][i])
+			}
+		}
+	}
+	if in.Len() != vals+1 {
+		t.Fatalf("Len = %d, want %d", in.Len(), vals+1)
+	}
+}

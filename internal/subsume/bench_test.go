@@ -1,0 +1,91 @@
+package subsume
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// benchWorkload builds a synthetic (candidate, ground) pair shaped like
+// the learner's hot path: a ground bottom clause with a few hundred
+// literals over a modest constant pool, and a variabilized candidate
+// whose match requires indexed lookups and backtracking. Deterministic
+// for a given seed so before/after cells in BENCH_subsume.json compare
+// the same instance.
+func benchWorkload(seed int64, nLits, nConsts int) (pos, neg, ground *logic.Clause) {
+	r := rand.New(rand.NewSource(seed))
+	cname := func(i int) string { return fmt.Sprintf("c%d", i) }
+	g := &logic.Clause{Head: logic.NewLiteral("adv", logic.Const(cname(0)), logic.Const(cname(1)))}
+	// Binary join graph plus unary attributes, roughly 2:1.
+	for i := 0; i < nLits; i++ {
+		if i%3 == 2 {
+			g.Body = append(g.Body, logic.NewLiteral("inphase",
+				logic.Const(cname(r.Intn(nConsts))), logic.Const(fmt.Sprintf("ph%d", r.Intn(4)))))
+			continue
+		}
+		g.Body = append(g.Body, logic.NewLiteral("pub",
+			logic.Const(cname(r.Intn(nConsts))), logic.Const(cname(r.Intn(nConsts)))))
+	}
+	// Plant a guaranteed chain so the positive candidate subsumes.
+	g.Body = append(g.Body,
+		logic.NewLiteral("pub", logic.Const(cname(0)), logic.Const(cname(2))),
+		logic.NewLiteral("pub", logic.Const(cname(2)), logic.Const(cname(1))),
+		logic.NewLiteral("inphase", logic.Const(cname(2)), logic.Const("ph_planted")))
+
+	pos = &logic.Clause{Head: logic.NewLiteral("adv", logic.Var("X"), logic.Var("Y"))}
+	pos.Body = append(pos.Body,
+		logic.NewLiteral("pub", logic.Var("X"), logic.Var("Z")),
+		logic.NewLiteral("pub", logic.Var("Z"), logic.Var("Y")),
+		logic.NewLiteral("inphase", logic.Var("Z"), logic.Const("ph_planted")))
+
+	// The negative asks for a phase value absent from the ground side:
+	// the search exhausts candidate chains before answering false.
+	neg = &logic.Clause{Head: logic.NewLiteral("adv", logic.Var("X"), logic.Var("Y"))}
+	neg.Body = append(neg.Body,
+		logic.NewLiteral("pub", logic.Var("X"), logic.Var("Z")),
+		logic.NewLiteral("pub", logic.Var("Z"), logic.Var("Y")),
+		logic.NewLiteral("inphase", logic.Var("Z"), logic.Const("ph_absent")))
+	return pos, neg, g
+}
+
+// BenchmarkSubsume isolates compile-vs-check cost on the subsumption hot
+// path. compile-per-check is the legacy shape (every test recompiles the
+// ground side, as Check still does for one-shot callers);
+// compile-once-check-many is the coverage engine's shape after the
+// CompiledGround cache (the ground index is built once per example and
+// shared across every candidate tested against it). Results are recorded
+// in BENCH_subsume.json.
+func BenchmarkSubsume(b *testing.B) {
+	pos, neg, g := benchWorkload(7, 300, 60)
+	opts := Options{}
+	sanity := func(b *testing.B) {
+		b.Helper()
+		if !Subsumes(pos, g, opts) {
+			b.Fatal("positive candidate must subsume")
+		}
+		if Subsumes(neg, g, opts) {
+			b.Fatal("negative candidate must not subsume")
+		}
+	}
+	b.Run("compile-per-check", func(b *testing.B) {
+		sanity(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Check(pos, g, opts)
+			Check(neg, g, opts)
+		}
+	})
+	b.Run("compile-once-check-many", func(b *testing.B) {
+		sanity(b)
+		cg := CompileGround(nil, g)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			CheckCompiled(pos, cg, opts)
+			CheckCompiled(neg, cg, opts)
+		}
+	})
+}

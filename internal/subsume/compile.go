@@ -1,0 +1,88 @@
+package subsume
+
+import (
+	"repro/internal/logic"
+)
+
+// CompiledGround is the matcher's compiled, immutable view of one ground
+// clause: per-predicate extents (rows of interned term values) and, for
+// each (predicate, position), a value→row-id posting index. Compiling
+// the ground side is the expensive half of a subsumption test — the
+// candidate side is a handful of literals, the ground side hundreds —
+// and the learner tests hundreds of candidates against the same cached
+// ground bottom clause, so the coverage engine compiles each ground BC
+// once and shares the result across every CheckCompiled call.
+//
+// A CompiledGround is a pure function of (interner, clause) contents: it
+// holds no search state, so it is safe to share across goroutines. Ids
+// come from the interner it was compiled with; candidates compiled
+// against it resolve their strings through the same table (lookup-only,
+// so checking never grows the table).
+type CompiledGround struct {
+	in       *logic.Interner
+	headPred int32
+	headVals []int32
+	preds    map[int32]*groundExtent
+	bodyLen  int
+}
+
+// groundExtent is one predicate's compiled extent. arity is the arity of
+// the predicate's first ground literal (matching the legacy matcher's
+// index construction); index has one value→row-ids map per position
+// below arity, with row ids ascending in extent order.
+type groundExtent struct {
+	arity int
+	rows  [][]int32
+	index []map[int32][]int32
+}
+
+// CompileGround compiles g against the interner (nil selects a fresh
+// private table, the one-shot Check path). Every predicate name and
+// term value of g is interned; the index layout reproduces the legacy
+// per-call matcher's exactly, so searches over the compiled form take
+// bit-identical decisions.
+func CompileGround(in *logic.Interner, g *logic.Clause) *CompiledGround {
+	if in == nil {
+		in = logic.NewInterner()
+	}
+	cg := &CompiledGround{
+		in:       in,
+		headPred: in.Intern(g.Head.Predicate),
+		headVals: make([]int32, len(g.Head.Terms)),
+		preds:    make(map[int32]*groundExtent),
+		bodyLen:  len(g.Body),
+	}
+	for i, t := range g.Head.Terms {
+		cg.headVals[i] = in.Intern(t.Name)
+	}
+	for _, l := range g.Body {
+		pid := in.Intern(l.Predicate)
+		ext := cg.preds[pid]
+		if ext == nil {
+			arity := len(l.Terms)
+			ext = &groundExtent{arity: arity, index: make([]map[int32][]int32, arity)}
+			for p := range ext.index {
+				ext.index[p] = make(map[int32][]int32)
+			}
+			cg.preds[pid] = ext
+		}
+		row := make([]int32, len(l.Terms))
+		for p, t := range l.Terms {
+			row[p] = in.Intern(t.Name)
+		}
+		gi := int32(len(ext.rows))
+		ext.rows = append(ext.rows, row)
+		for p, v := range row {
+			if p < ext.arity {
+				ext.index[p][v] = append(ext.index[p][v], gi)
+			}
+		}
+	}
+	return cg
+}
+
+// Interner returns the intern table the ground clause was compiled with.
+func (cg *CompiledGround) Interner() *logic.Interner { return cg.in }
+
+// BodyLen returns the number of ground body literals compiled.
+func (cg *CompiledGround) BodyLen() int { return cg.bodyLen }

@@ -1,0 +1,252 @@
+package subsume
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// requireEquiv checks that the compiled matcher is bit-identical to the
+// legacy string matcher on one (clause, ground, opts) input: same
+// Subsumes/Complete/Cancelled flags and the same node count, which pins
+// candidate ordering, restart RNG consumption, and budget accounting.
+func requireEquiv(t *testing.T, name string, c, g *logic.Clause, opts Options) {
+	t.Helper()
+	ctx := context.Background()
+	want := legacyCheck(ctx, c, g, opts)
+
+	if got := Check(c, g, opts); got != want {
+		t.Fatalf("%s: Check=%+v legacy=%+v (clause %v vs %v)", name, got, want, c, g)
+	}
+	cg := CompileGround(nil, g)
+	if got := CheckCompiled(c, cg, opts); got != want {
+		t.Fatalf("%s: CheckCompiled=%+v legacy=%+v (clause %v vs %v)", name, got, want, c, g)
+	}
+	// A second check against the same CompiledGround must not be
+	// perturbed by pooled-matcher state left over from the first.
+	if got := CheckCompiled(c, cg, opts); got != want {
+		t.Fatalf("%s: repeated CheckCompiled=%+v legacy=%+v", name, got, want)
+	}
+	// Sharing an interner across compiles must not change outcomes even
+	// when the candidate mentions constants interned by other grounds.
+	in := logic.NewInterner()
+	in.Intern("unrelated_const_from_another_example")
+	shared := CompileGround(in, g)
+	if got := CheckCompiled(c, shared, opts); got != want {
+		t.Fatalf("%s: shared-interner CheckCompiled=%+v legacy=%+v", name, got, want)
+	}
+}
+
+func TestCheckCompiledEquivalenceTable(t *testing.T) {
+	hard := func(t *testing.T) (c, g *logic.Clause) {
+		// Pigeonhole: 7-clique pattern over a 6-vertex complete digraph.
+		ground := "h(a) :- "
+		clause := "h(X) :- "
+		gFirst, cFirst := true, true
+		for i := 0; i < 6; i++ {
+			for j := 0; j < 6; j++ {
+				if i == j {
+					continue
+				}
+				if !gFirst {
+					ground += ", "
+				}
+				gFirst = false
+				ground += "e(v" + string(rune('0'+i)) + ",v" + string(rune('0'+j)) + ")"
+			}
+		}
+		for i := 0; i < 7; i++ {
+			for j := 0; j < 7; j++ {
+				if i == j {
+					continue
+				}
+				if !cFirst {
+					clause += ", "
+				}
+				cFirst = false
+				clause += "e(Y" + string(rune('0'+i)) + ",Y" + string(rune('0'+j)) + ")"
+			}
+		}
+		return mustClause(t, clause+"."), mustClause(t, ground+".")
+	}
+
+	cases := []struct {
+		name   string
+		clause string
+		ground string
+	}{
+		{"basic-match", "h(X) :- p(X,Y).", "h(a) :- p(a,b)."},
+		{"basic-reject", "h(X) :- p(X,X).", "h(a) :- p(a,b)."},
+		{"head-const-match", "h(a,Y) :- p(Y).", "h(a,b) :- p(b)."},
+		{"head-const-reject", "h(b,Y) :- p(Y).", "h(a,b) :- p(b)."},
+		{"head-repeat-match", "h(X,X) :- p(X).", "h(a,a) :- p(a)."},
+		{"head-repeat-reject", "h(X,X) :- p(X).", "h(a,b) :- p(a), p(b)."},
+		{"empty-body", "h(X).", "h(a) :- p(a,b)."},
+		{"empty-ground-body", "h(X) :- p(X).", "h(a)."},
+		{"missing-pred", "h(X) :- r(X).", "h(a) :- p(a,b)."},
+		{"repeated-var-literal", "h(X) :- p(X,Y), p(Y,Y).", "h(a) :- p(a,b), p(b,b)."},
+		{"shared-var-chain", "h(X) :- p(X,Y), q(Y,Z), p(Z,X).", "h(a) :- p(a,b), q(b,c), p(c,a), p(a,c)."},
+		{"backtracking", "h(X) :- p(X,Y), q(Y).", "h(a) :- p(a,b), p(a,c), q(c)."},
+		{"const-in-body", "h(X) :- p(X,b), q(b,X).", "h(a) :- p(a,b), q(b,a), p(a,c)."},
+		{"restart-chain", "h(X) :- p(X,Y1), p(Y1,Y2), p(Y2,Y3), p(Y3,Y4), q(Y4).",
+			"h(a) :- p(a,b), p(b,c), p(c,d), p(d,e), q(e)."},
+	}
+	optVariants := []Options{
+		{},
+		{MaxNodes: 1},
+		{MaxNodes: 2, Restarts: 3, Seed: 7},
+		{MaxNodes: 5, Restarts: 10, Seed: 42},
+		{MaxNodes: 100000, Restarts: 3, Seed: 1},
+	}
+	for _, tc := range cases {
+		c := mustClause(t, tc.clause)
+		g := mustClause(t, tc.ground)
+		for _, opts := range optVariants {
+			requireEquiv(t, tc.name, c, g, opts)
+		}
+	}
+
+	// Budget exhaustion on a hard negative, including restart passes that
+	// also exhaust: the node totals across every pass must agree.
+	c, g := hard(t)
+	for _, opts := range []Options{
+		{MaxNodes: 50},
+		{MaxNodes: 50, Restarts: 1},
+		{MaxNodes: 200, Restarts: 4, Seed: 9},
+		{MaxNodes: 1000, Restarts: 2, Seed: 3},
+	} {
+		requireEquiv(t, "pigeonhole", c, g, opts)
+	}
+}
+
+func TestCheckCompiledEquivalenceEmptyStringConstants(t *testing.T) {
+	// The interner reserves id 0 for "" as the unbound sentinel; ground
+	// databases may still carry literal empty-string values. Equivalence
+	// must hold when "" appears as a head value or extent value.
+	g := &logic.Clause{Head: logic.NewLiteral("h", logic.Const(""), logic.Const(""))}
+	g.Body = append(g.Body,
+		logic.NewLiteral("p", logic.Const(""), logic.Const("b")),
+		logic.NewLiteral("p", logic.Const("b"), logic.Const("")))
+	c := &logic.Clause{Head: logic.NewLiteral("h", logic.Var("X"), logic.Var("X"))}
+	c.Body = append(c.Body,
+		logic.NewLiteral("p", logic.Var("X"), logic.Var("Y")),
+		logic.NewLiteral("p", logic.Var("Y"), logic.Var("X")))
+	requireEquiv(t, "empty-string-head", c, g, Options{})
+
+	// Repeated head variable where the ground values are both "" must
+	// bind like any other value, and the "" initial value must still be
+	// treated as ground (not as an unbound variable).
+	c2 := &logic.Clause{Head: logic.NewLiteral("h", logic.Var("X"), logic.Var("Y"))}
+	c2.Body = append(c2.Body, logic.NewLiteral("p", logic.Var("X"), logic.Var("Y")))
+	requireEquiv(t, "empty-string-bound", c2, g, Options{})
+}
+
+func TestCheckCompiledEquivalenceCancellation(t *testing.T) {
+	g := mustClause(t, "h(a) :- p(a,b), p(b,c), p(c,d), p(d,e), q(e).")
+	c := mustClause(t, "h(X) :- p(X,Y1), p(Y1,Y2), p(Y2,Y3), p(Y3,Y4), q(Y4).")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := Options{MaxNodes: 100000, Restarts: 3}
+	want := legacyCheck(ctx, c, g, opts)
+	if !want.Cancelled {
+		t.Fatalf("legacy reference must observe cancellation, got %+v", want)
+	}
+	if got := CheckCtx(ctx, c, g, opts); got != want {
+		t.Fatalf("CheckCtx under cancelled ctx: got %+v want %+v", got, want)
+	}
+	if got := CheckCompiledCtx(ctx, c, CompileGround(nil, g), opts); got != want {
+		t.Fatalf("CheckCompiledCtx under cancelled ctx: got %+v want %+v", got, want)
+	}
+}
+
+// TestCheckCompiledEquivalenceRandom drives both matchers over random
+// instances (the TestPropMatchesBruteForce generator, widened with body
+// constants and repeated variables) under plain, budget-starved, and
+// restart-heavy options.
+func TestCheckCompiledEquivalenceRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	preds := []string{"p", "q"}
+	vars := []string{"X", "Y", "Z", "W"}
+	consts := []string{"a", "b", "c", ""}
+	for trial := 0; trial < 600; trial++ {
+		g := &logic.Clause{Head: logic.NewLiteral("h", logic.Const(consts[r.Intn(3)]))}
+		for i, n := 0, 1+r.Intn(7); i < n; i++ {
+			g.Body = append(g.Body, logic.NewLiteral(
+				preds[r.Intn(2)], logic.Const(consts[r.Intn(4)]), logic.Const(consts[r.Intn(4)])))
+		}
+		c := &logic.Clause{Head: logic.NewLiteral("h", logic.Var("X"))}
+		for i, n := 0, r.Intn(5); i < n; i++ {
+			mk := func() logic.Term {
+				if r.Intn(4) == 0 {
+					return logic.Const(consts[r.Intn(4)])
+				}
+				return logic.Var(vars[r.Intn(4)])
+			}
+			c.Body = append(c.Body, logic.NewLiteral(preds[r.Intn(2)], mk(), mk()))
+		}
+		opts := Options{}
+		switch trial % 3 {
+		case 1:
+			opts = Options{MaxNodes: 1 + r.Intn(4), Restarts: r.Intn(4), Seed: int64(r.Intn(100))}
+		case 2:
+			opts = Options{MaxNodes: 1 + r.Intn(50), Restarts: 1 + r.Intn(3), Seed: int64(trial)}
+		}
+		requireEquiv(t, "random", c, g, opts)
+	}
+}
+
+// FuzzCheckCompiledEquivalence decodes a byte string into a (clause,
+// ground, options) triple and requires bit-identical results from the
+// legacy and compiled matchers.
+func FuzzCheckCompiledEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0})
+	f.Add([]byte{9, 9, 9, 9, 0, 0, 0, 0, 9, 9, 9, 9})
+	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			t.Skip()
+		}
+		next := func(i int) byte {
+			return data[i%len(data)]
+		}
+		preds := []string{"p", "q", "r"}
+		consts := []string{"a", "b", "c", ""}
+		vars := []string{"X", "Y", "Z"}
+		pos := 0
+		take := func(n int) int {
+			v := int(next(pos)) % n
+			pos++
+			return v
+		}
+		g := &logic.Clause{Head: logic.NewLiteral("h", logic.Const(consts[take(3)]))}
+		for i, n := 0, 1+take(7); i < n; i++ {
+			g.Body = append(g.Body, logic.NewLiteral(
+				preds[take(3)], logic.Const(consts[take(4)]), logic.Const(consts[take(4)])))
+		}
+		var ct logic.Term
+		if take(4) == 0 {
+			ct = logic.Const(consts[take(3)])
+		} else {
+			ct = logic.Var("X")
+		}
+		c := &logic.Clause{Head: logic.NewLiteral("h", ct)}
+		for i, n := 0, take(5); i < n; i++ {
+			mk := func() logic.Term {
+				if take(4) == 0 {
+					return logic.Const(consts[take(4)])
+				}
+				return logic.Var(vars[take(3)])
+			}
+			c.Body = append(c.Body, logic.NewLiteral(preds[take(3)], mk(), mk()))
+		}
+		opts := Options{MaxNodes: 1 + take(64), Restarts: take(4), Seed: int64(take(16))}
+		if take(2) == 0 {
+			opts = Options{Restarts: take(3), Seed: int64(take(16))}
+		}
+		requireEquiv(t, "fuzz", c, g, opts)
+	})
+}

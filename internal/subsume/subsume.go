@@ -14,18 +14,29 @@
 // paper's use of approximate coverage.
 //
 // Bottom clauses routinely hold hundreds of literals and coverage
-// testing dominates learning time, so the matcher compiles the clause
-// first: variables become dense integer ids (the substitution is an
-// array, not a map), ground literals are indexed per (predicate,
-// position) by value, each literal's "constrained degree" (term slots
-// held by a constant or a bound variable) is maintained incrementally as
-// variables bind and unbind, and candidate sets are retrieved through
-// the most selective bound position.
+// testing dominates learning time, so matching is split into two
+// compilation phases. CompileGround builds an immutable index of the
+// ground side — per-predicate extents and per-(predicate, position)
+// value→row postings over interned int32 ids (see logic.Interner) — that
+// callers cache and share: the coverage engine compiles each ground
+// bottom clause once and tests hundreds of beam-search candidates
+// against it. CheckCompiled then compiles only the candidate clause
+// (a handful of literals) per call: variables become dense integer ids
+// (the substitution is an array, not a map), constants resolve to
+// interned ids by lookup, each literal's "constrained degree" (term
+// slots held by a constant or a bound variable) is maintained
+// incrementally as variables bind and unbind, and candidate sets are
+// retrieved through the most selective bound position. The inner loop
+// compares int32s only — no string hashing or comparison survives past
+// compilation. Per-check search state (substitution, trail, degree
+// buckets, candidate buffers) is recycled through a sync.Pool, so a
+// steady-state check allocates nothing.
 //
-// Concurrency contract: Subsumes and Check are pure with respect to
-// shared state — every call compiles its own matcher and, when restarts
-// are needed, seeds its own *rand.Rand from Options.Seed. The outcome of
-// a test therefore depends only on (c, g, opts), never on which worker
+// Concurrency contract: Subsumes, Check and CheckCompiled are pure with
+// respect to shared state — every call compiles its own candidate and,
+// when restarts are needed, seeds its own *rand.Rand from Options.Seed.
+// A CompiledGround is immutable and safe to share. The outcome of a
+// test therefore depends only on (c, g, opts), never on which worker
 // runs it or in what order, which is what lets the parallel coverage
 // engine in internal/learn fan tests out without perturbing results.
 package subsume
@@ -33,6 +44,7 @@ package subsume
 import (
 	"context"
 	"math/rand"
+	"sync"
 
 	"repro/internal/faultpoint"
 	"repro/internal/logic"
@@ -92,7 +104,10 @@ func Subsumes(c, g *logic.Clause, opts Options) bool {
 	return Check(c, g, opts).Subsumes
 }
 
-// Check runs the subsumption test and returns the detailed result.
+// Check runs the subsumption test and returns the detailed result. It
+// compiles the ground side per call; callers testing many candidates
+// against one ground clause should CompileGround once and use
+// CheckCompiled instead.
 func Check(c, g *logic.Clause, opts Options) Result {
 	return CheckCtx(context.Background(), c, g, opts)
 }
@@ -109,7 +124,29 @@ func SubsumesCtx(ctx context.Context, c, g *logic.Clause, opts Options) bool {
 // interrupt mid-test rather than waiting out the node budget.
 func CheckCtx(ctx context.Context, c, g *logic.Clause, opts Options) Result {
 	opts = opts.normalized()
-	res := checkCtx(ctx, c, g, opts)
+	res := checkCompiledCtx(ctx, c, CompileGround(nil, g), opts)
+	record(opts, res)
+	return res
+}
+
+// CheckCompiled tests c against a pre-compiled ground clause. Outcomes
+// are bit-identical to Check on the same (c, g, opts) — the compiled
+// form changes representation, never decisions.
+func CheckCompiled(c *logic.Clause, cg *CompiledGround, opts Options) Result {
+	return CheckCompiledCtx(context.Background(), c, cg, opts)
+}
+
+// CheckCompiledCtx is CheckCompiled under a context, with CheckCtx's
+// cancellation semantics.
+func CheckCompiledCtx(ctx context.Context, c *logic.Clause, cg *CompiledGround, opts Options) Result {
+	opts = opts.normalized()
+	res := checkCompiledCtx(ctx, c, cg, opts)
+	record(opts, res)
+	return res
+}
+
+// record applies per-test instrumentation on every exit path.
+func record(opts Options, res Result) {
 	if mc := opts.Metrics; mc.Enabled() {
 		mc.Inc(metrics.SubsumeTests)
 		mc.Add(metrics.SubsumeNodes, int64(res.Nodes))
@@ -118,12 +155,12 @@ func CheckCtx(ctx context.Context, c, g *logic.Clause, opts Options) Result {
 			mc.Inc(metrics.SubsumeBudgetExhausted)
 		}
 	}
-	return res
 }
 
-// checkCtx is CheckCtx's engine, with opts already normalized and
-// instrumentation applied by the caller on every exit path.
-func checkCtx(ctx context.Context, c, g *logic.Clause, opts Options) Result {
+// checkCompiledCtx is the engine shared by CheckCtx and
+// CheckCompiledCtx, with opts already normalized and instrumentation
+// applied by the caller.
+func checkCompiledCtx(ctx context.Context, c *logic.Clause, cg *CompiledGround, opts Options) Result {
 	if faultpoint.Enabled() {
 		if err := faultpoint.Inject(ctx, "subsume.check"); err != nil {
 			// An injected error (or a cancelled injected delay) aborts the
@@ -133,8 +170,9 @@ func checkCtx(ctx context.Context, c, g *logic.Clause, opts Options) Result {
 		}
 	}
 
-	m, ok := newMatcher(c, g)
-	if !ok {
+	m := matcherPool.Get().(*matcher)
+	defer m.release()
+	if !m.compile(c, cg) {
 		// Head mismatch, or a body predicate absent from g.
 		return Result{Subsumes: false, Complete: true}
 	}
@@ -170,18 +208,17 @@ func checkCtx(ctx context.Context, c, g *logic.Clause, opts Options) Result {
 	return Result{Subsumes: false, Complete: false, Nodes: total}
 }
 
-// cTerm is a compiled term: a constant value, or a variable id.
+// cTerm is a compiled candidate term: an interned constant value, or a
+// variable id.
 type cTerm struct {
-	varID int    // -1 for constants
-	val   string // constant value (unset for variables)
+	varID int32 // -1 for constants
+	val   int32 // interned constant value; -1 when absent from the table
 }
 
-// cLit is a compiled body literal.
+// cLit is a compiled candidate body literal bound to its ground extent.
 type cLit struct {
 	terms []cTerm
-	// extent and index point into the matcher's per-predicate tables.
-	extent []logic.Literal
-	index  []map[string][]int
+	ext   *groundExtent
 }
 
 type varOcc struct {
@@ -189,16 +226,29 @@ type varOcc struct {
 	delta int
 }
 
+// matcher holds one check's compiled candidate and search state. All of
+// it is scratch: matchers are recycled through matcherPool and every
+// slice is resized (capacity kept) by compile, so steady-state checks
+// allocate nothing.
 type matcher struct {
 	lits []cLit
-	// headBinding[v] is the ground value the head fixes for variable v
-	// ("" when the head leaves it free).
-	initial []string
+	// initial[v] is the interned ground value the head fixes for
+	// variable v (0, the empty-string id, when the head leaves it free —
+	// the same sentinel the legacy string matcher used).
+	initial []int32
 	varOccs [][]varOcc
 	nVars   int
 
-	// Search state, reset by run().
-	vals      []string // variable id -> bound value ("" = unbound)
+	// Compile scratch: candidate-variable name → dense id, and the
+	// head-bound (id, ground value) pairs in first-occurrence order.
+	varIDs  map[string]int32
+	headIDs []int32
+	headGVs []int32
+
+	// Search state, reset by run(). vals is the substitution (variable
+	// id → interned bound value); the per-literal trail lives on solve's
+	// stack.
+	vals      []int32
 	bound     []bool
 	matched   []bool
 	deg       []int
@@ -219,117 +269,203 @@ type matcher struct {
 	buckets [][]int
 	pos     []int
 	topDeg  int
+
+	// cands[d] is the candidate-row buffer for search depth d, reused
+	// across backtracking siblings so the inner loop never allocates.
+	cands [][]int32
 }
 
-// newMatcher compiles the clause against the ground clause. ok is false
-// when the head cannot match or some body predicate has no extent.
-func newMatcher(c, g *logic.Clause) (*matcher, bool) {
-	// Head match: bind head variables, reject constant mismatches.
-	if c.Head.Predicate != g.Head.Predicate || len(c.Head.Terms) != len(g.Head.Terms) {
-		return nil, false
+var matcherPool = sync.Pool{New: func() any { return new(matcher) }}
+
+// release drops references into the compiled ground (so pooling a
+// matcher never pins a CompiledGround in memory) and returns it to the
+// pool.
+func (m *matcher) release() {
+	for i := range m.lits {
+		m.lits[i].ext = nil
 	}
-	varID := make(map[string]int)
-	idOf := func(name string) int {
-		if id, ok := varID[name]; ok {
+	m.rng = nil
+	m.done = nil
+	matcherPool.Put(m)
+}
+
+// compile builds the matcher for candidate c over the compiled ground
+// clause. ok is false when the head cannot match or some body predicate
+// has no extent. Constants resolve through lookup only: a string the
+// ground side never interned cannot match anything, so it compiles to
+// the never-equal id -1 instead of growing the table.
+func (m *matcher) compile(c *logic.Clause, cg *CompiledGround) bool {
+	m.cancelled = false
+	in := cg.in
+	if m.varIDs == nil {
+		m.varIDs = make(map[string]int32)
+	} else {
+		clear(m.varIDs)
+	}
+	idOf := func(name string) int32 {
+		if id, ok := m.varIDs[name]; ok {
 			return id
 		}
-		id := len(varID)
-		varID[name] = id
+		id := int32(len(m.varIDs))
+		m.varIDs[name] = id
 		return id
 	}
-	headVal := make(map[int]string)
+
+	// Head match: bind head variables, reject constant mismatches.
+	if hid, ok := in.Lookup(c.Head.Predicate); !ok || hid != cg.headPred || len(c.Head.Terms) != len(cg.headVals) {
+		return false
+	}
+	m.headIDs, m.headGVs = m.headIDs[:0], m.headGVs[:0]
 	for i, t := range c.Head.Terms {
-		gv := g.Head.Terms[i].Name
+		gv := cg.headVals[i]
 		if t.IsConst() {
-			if t.Name != gv {
-				return nil, false
+			if cid, ok := in.Lookup(t.Name); !ok || cid != gv {
+				return false
 			}
 			continue
 		}
 		id := idOf(t.Name)
-		if prev, ok := headVal[id]; ok {
-			if prev != gv {
-				return nil, false
-			}
-			continue
-		}
-		headVal[id] = gv
-	}
-
-	byPred := make(map[string][]logic.Literal)
-	for _, l := range g.Body {
-		byPred[l.Predicate] = append(byPred[l.Predicate], l)
-	}
-	indexByPred := make(map[string][]map[string][]int)
-
-	m := &matcher{lits: make([]cLit, len(c.Body))}
-	for i, l := range c.Body {
-		ext := byPred[l.Predicate]
-		if len(ext) == 0 {
-			return nil, false
-		}
-		idx := indexByPred[l.Predicate]
-		if idx == nil {
-			arity := len(ext[0].Terms)
-			idx = make([]map[string][]int, arity)
-			for p := range idx {
-				idx[p] = make(map[string][]int)
-			}
-			for gi, gl := range ext {
-				for p, t := range gl.Terms {
-					if p < arity {
-						idx[p][t.Name] = append(idx[p][t.Name], gi)
-					}
+		seen := false
+		for j, prev := range m.headIDs {
+			if prev == id {
+				if m.headGVs[j] != gv {
+					return false
 				}
+				seen = true
+				break
 			}
-			indexByPred[l.Predicate] = idx
 		}
-		cl := cLit{terms: make([]cTerm, len(l.Terms)), extent: ext, index: idx}
+		if !seen {
+			m.headIDs = append(m.headIDs, id)
+			m.headGVs = append(m.headGVs, gv)
+		}
+	}
+
+	m.lits = resizeLits(m.lits, len(c.Body))
+	for i, l := range c.Body {
+		var ext *groundExtent
+		if pid, ok := in.Lookup(l.Predicate); ok {
+			ext = cg.preds[pid]
+		}
+		if ext == nil || len(ext.rows) == 0 {
+			return false
+		}
+		cl := &m.lits[i]
+		cl.ext = ext
+		cl.terms = resizeTerms(cl.terms, len(l.Terms))
 		for p, t := range l.Terms {
 			if t.IsConst() {
-				cl.terms[p] = cTerm{varID: -1, val: t.Name}
+				val := int32(-1)
+				if id, ok := in.Lookup(t.Name); ok {
+					val = id
+				}
+				cl.terms[p] = cTerm{varID: -1, val: val}
 			} else {
 				cl.terms[p] = cTerm{varID: idOf(t.Name)}
 			}
 		}
-		m.lits[i] = cl
 	}
 
-	m.nVars = len(varID)
-	m.initial = make([]string, m.nVars)
-	for id, v := range headVal {
-		m.initial[id] = v
+	m.nVars = len(m.varIDs)
+	m.initial = resizeInt32(m.initial, m.nVars)
+	for i := range m.initial {
+		m.initial[i] = 0
 	}
-	m.varOccs = make([][]varOcc, m.nVars)
-	for li, cl := range m.lits {
-		for _, t := range cl.terms {
+	for j, id := range m.headIDs {
+		m.initial[id] = m.headGVs[j]
+	}
+	m.varOccs = resizeOccs(m.varOccs, m.nVars)
+	for li := range m.lits {
+		for _, t := range m.lits[li].terms {
 			if t.varID >= 0 {
 				m.varOccs[t.varID] = append(m.varOccs[t.varID], varOcc{lit: li, delta: 1})
 			}
 		}
 	}
 	// Base degrees: constants and head-bound variables.
-	m.baseDeg = make([]int, len(m.lits))
-	for li, cl := range m.lits {
-		for _, t := range cl.terms {
-			if t.varID < 0 || m.initial[t.varID] != "" {
-				m.baseDeg[li]++
+	m.baseDeg = resizeInts(m.baseDeg, len(m.lits))
+	for li := range m.lits {
+		d := 0
+		for _, t := range m.lits[li].terms {
+			if t.varID < 0 || m.initial[t.varID] != 0 {
+				d++
 			}
 		}
+		m.baseDeg[li] = d
 	}
-	m.vals = make([]string, m.nVars)
-	m.bound = make([]bool, m.nVars)
-	m.matched = make([]bool, len(m.lits))
-	m.deg = make([]int, len(m.lits))
+	m.vals = resizeInt32(m.vals, m.nVars)
+	m.bound = resizeBools(m.bound, m.nVars)
+	m.matched = resizeBools(m.matched, len(m.lits))
+	m.deg = resizeInts(m.deg, len(m.lits))
 	maxDeg := 0
-	for _, cl := range m.lits {
-		if len(cl.terms) > maxDeg {
-			maxDeg = len(cl.terms)
+	for li := range m.lits {
+		if n := len(m.lits[li].terms); n > maxDeg {
+			maxDeg = n
 		}
 	}
-	m.buckets = make([][]int, maxDeg+1)
-	m.pos = make([]int, len(m.lits))
-	return m, true
+	if cap(m.buckets) < maxDeg+1 {
+		m.buckets = append(m.buckets[:cap(m.buckets)], make([][]int, maxDeg+1-cap(m.buckets))...)
+	}
+	m.buckets = m.buckets[:maxDeg+1]
+	m.pos = resizeInts(m.pos, len(m.lits))
+	if cap(m.cands) < len(m.lits)+1 {
+		m.cands = append(m.cands[:cap(m.cands)], make([][]int32, len(m.lits)+1-cap(m.cands))...)
+	}
+	m.cands = m.cands[:len(m.lits)+1]
+	return true
+}
+
+// resize helpers: keep capacity across pooled reuse, reallocate only on
+// growth. Contents are unspecified; compile and run overwrite them.
+
+func resizeInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func resizeLits(s []cLit, n int) []cLit {
+	if cap(s) < n {
+		out := make([]cLit, n)
+		copy(out, s[:cap(s)])
+		return out
+	}
+	return s[:n]
+}
+
+func resizeTerms(s []cTerm, n int) []cTerm {
+	if cap(s) < n {
+		return make([]cTerm, n)
+	}
+	return s[:n]
+}
+
+func resizeOccs(s [][]varOcc, n int) [][]varOcc {
+	if cap(s) < n {
+		out := make([][]varOcc, n)
+		copy(out, s[:cap(s)])
+		s = out
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
 }
 
 // bucketAdd places unmatched literal li into the bucket for its degree.
@@ -369,7 +505,7 @@ func (m *matcher) run(rng *rand.Rand) (bool, bool) {
 	}
 	for v := 0; v < m.nVars; v++ {
 		m.vals[v] = m.initial[v]
-		m.bound[v] = m.initial[v] != ""
+		m.bound[v] = m.initial[v] != 0
 	}
 	if m.remaining == 0 {
 		return true, false
@@ -415,12 +551,12 @@ func (m *matcher) pickLiteral() int {
 // literal li (the extent size when nothing is bound).
 func (m *matcher) candidateBound(li int) int {
 	cl := &m.lits[li]
-	best := len(cl.extent)
-	if len(cl.index) != len(cl.terms) {
+	best := len(cl.ext.rows)
+	if cl.ext.arity != len(cl.terms) {
 		return 0 // arity mismatch with the ground extent
 	}
 	for p, t := range cl.terms {
-		var want string
+		var want int32
 		if t.varID < 0 {
 			want = t.val
 		} else if m.bound[t.varID] {
@@ -428,7 +564,7 @@ func (m *matcher) candidateBound(li int) int {
 		} else {
 			continue
 		}
-		if n := len(cl.index[p][want]); n < best {
+		if n := len(cl.ext.index[p][want]); n < best {
 			best = n
 			if best == 0 {
 				return 0
@@ -438,17 +574,17 @@ func (m *matcher) candidateBound(li int) int {
 	return best
 }
 
-// candidates returns the extent positions compatible with literal li,
-// via the most selective bound position.
-func (m *matcher) candidates(li int) []int {
+// candidates fills the depth's buffer with the extent rows compatible
+// with literal li, via the most selective bound position.
+func (m *matcher) candidates(li, depth int) []int32 {
 	cl := &m.lits[li]
-	if len(cl.index) != len(cl.terms) {
+	if cl.ext.arity != len(cl.terms) {
 		return nil
 	}
-	var bestList []int
+	var bestList []int32
 	haveBound := false
 	for p, t := range cl.terms {
-		var want string
+		var want int32
 		if t.varID < 0 {
 			want = t.val
 		} else if m.bound[t.varID] {
@@ -456,7 +592,7 @@ func (m *matcher) candidates(li int) []int {
 		} else {
 			continue
 		}
-		list := cl.index[p][want]
+		list := cl.ext.index[p][want]
 		if !haveBound || len(list) < len(bestList) {
 			bestList, haveBound = list, true
 			if len(list) == 0 {
@@ -465,39 +601,40 @@ func (m *matcher) candidates(li int) []int {
 		}
 	}
 
-	check := func(g logic.Literal) bool {
+	check := func(row []int32) bool {
 		for p, t := range cl.terms {
 			if t.varID < 0 {
-				if t.val != g.Terms[p].Name {
+				if t.val != row[p] {
 					return false
 				}
 				continue
 			}
-			if m.bound[t.varID] && m.vals[t.varID] != g.Terms[p].Name {
+			if m.bound[t.varID] && m.vals[t.varID] != row[p] {
 				return false
 			}
 		}
 		return true
 	}
 
-	var out []int
+	out := m.cands[depth][:0]
 	if haveBound {
 		for _, gi := range bestList {
-			if check(cl.extent[gi]) {
+			if check(cl.ext.rows[gi]) {
 				out = append(out, gi)
 			}
 		}
-		return out
-	}
-	for gi, gl := range cl.extent {
-		if check(gl) {
-			out = append(out, gi)
+	} else {
+		for gi := range cl.ext.rows {
+			if check(cl.ext.rows[gi]) {
+				out = append(out, int32(gi))
+			}
 		}
 	}
+	m.cands[depth] = out // keep grown capacity for sibling branches
 	return out
 }
 
-func (m *matcher) bindVar(v int, val string) {
+func (m *matcher) bindVar(v int32, val int32) {
 	m.vals[v] = val
 	m.bound[v] = true
 	for _, occ := range m.varOccs[v] {
@@ -511,8 +648,8 @@ func (m *matcher) bindVar(v int, val string) {
 	}
 }
 
-func (m *matcher) unbindVar(v int) {
-	m.vals[v] = ""
+func (m *matcher) unbindVar(v int32) {
+	m.vals[v] = 0
 	m.bound[v] = false
 	for _, occ := range m.varOccs[v] {
 		if m.matched[occ.lit] {
@@ -556,8 +693,9 @@ func (m *matcher) solve() (bool, bool) {
 		return false, true
 	}
 
+	depth := len(m.lits) - m.remaining
 	li := m.pickLiteral()
-	cands := m.candidates(li)
+	cands := m.candidates(li, depth)
 	if len(cands) == 0 {
 		return false, false
 	}
@@ -575,14 +713,14 @@ func (m *matcher) solve() (bool, bool) {
 		m.bucketAdd(li)
 	}()
 
-	var boundBuf [8]int
+	var boundBuf [8]int32
 	exhausted := false
 	for _, gi := range cands {
 		m.nodes++
 		if m.over() {
 			return false, true
 		}
-		g := cl.extent[gi]
+		row := cl.ext.rows[gi]
 		// Bind with undo. Repeated variables within the literal (p(X,X))
 		// bind on first occurrence and re-verify equality on later ones:
 		// candidates() checks slots against bindings made before the call.
@@ -593,13 +731,13 @@ func (m *matcher) solve() (bool, bool) {
 				continue // constants pre-checked by candidates
 			}
 			if m.bound[t.varID] {
-				if m.vals[t.varID] != g.Terms[p].Name {
+				if m.vals[t.varID] != row[p] {
 					ok = false
 					break
 				}
 				continue
 			}
-			m.bindVar(t.varID, g.Terms[p].Name)
+			m.bindVar(t.varID, row[p])
 			bound = append(bound, t.varID)
 		}
 		if ok {
