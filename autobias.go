@@ -30,6 +30,7 @@ import (
 	"repro/internal/learn"
 	"repro/internal/logic"
 	"repro/internal/metrics"
+	"repro/internal/model"
 	"repro/internal/query"
 	"repro/internal/report"
 	"repro/internal/subsume"
@@ -76,7 +77,18 @@ type (
 	// MetricsSnapshot is a point-in-time copy of a collector, exposed on
 	// Result.Metrics and written by the CLIs' -metrics flags.
 	MetricsSnapshot = metrics.Snapshot
+	// ModelArtifact is the versioned on-disk form of a learned model; see
+	// Result.BuildArtifact, internal/model, and the serving stack
+	// (internal/serve, cmd/serve).
+	ModelArtifact = model.Artifact
+	// ModelDataRef names the database a model was trained over, so a
+	// serving process can rebind it.
+	ModelDataRef = model.DataRef
 )
+
+// LoadModel reads and verifies a model artifact (version, checksum,
+// embedded theory/bias).
+func LoadModel(path string) (*ModelArtifact, error) { return model.Load(path) }
 
 // NewMetricsCollector returns an enabled, empty instrumentation
 // collector, for callers that want to aggregate several runs (pass it as
@@ -319,6 +331,10 @@ type Result struct {
 	covers  eval.CoverFunc
 	db      *Database
 	metrics *metrics.Collector
+	// engine is the run's coverage engine, kept for model capture: its
+	// builder holds the build log and effective options an artifact must
+	// record for exact serve-time replay.
+	engine *learn.CoverageEngine
 }
 
 // Degraded reports whether the run was interrupted or lost work it could
@@ -326,6 +342,69 @@ type Result struct {
 // coverage). Exhausted subsumption budgets alone do not count — they are
 // the paper's by-design approximation.
 func (r *Result) Degraded() bool { return r.Report.Degraded() }
+
+// BuildArtifact captures the run as a sealed model artifact: the learned
+// theory and bias plus everything a serving process needs to reproduce
+// this run's coverage verdicts exactly — the effective bottom-clause and
+// subsumption options, the interner symbol table, the schema
+// fingerprint, and the builder's complete build log (replayed at load
+// time to restore the training ground BCs; see internal/model). data
+// names the training database so the server can rebind it; pass the
+// zero value if the server will supply data itself.
+//
+// Call Covers/Evaluate before BuildArtifact, not after: post-capture
+// queries that build new ground BCs would be missing from the log.
+func (r *Result) BuildArtifact(task Task, data ModelDataRef) (*ModelArtifact, error) {
+	if r.engine == nil {
+		return nil, fmt.Errorf("autobias: result has no coverage engine; only Learn results can be saved")
+	}
+	bopts := r.engine.Builder().Options()
+	sopts := r.engine.SubsumeOptions()
+	theory := ""
+	if r.Definition != nil {
+		theory = r.Definition.String()
+	}
+	art := &ModelArtifact{
+		Version:     model.Version,
+		Target:      task.Target,
+		TargetAttrs: append([]string(nil), task.TargetAttrs...),
+		Theory:      theory,
+		Bias:        r.Bias.String(),
+		Bottom: model.BottomConfig{
+			Strategy:    bopts.Strategy.String(),
+			Depth:       bopts.Depth,
+			SampleSize:  bopts.SampleSize,
+			MaxLiterals: bopts.MaxLiterals,
+			Seed:        bopts.Seed,
+		},
+		Subsume: model.SubsumeConfig{
+			MaxNodes: sopts.MaxNodes,
+			Restarts: sopts.Restarts,
+			Seed:     sopts.Seed,
+		},
+		Symbols:           r.engine.Interner().Symbols(),
+		SchemaFingerprint: model.Fingerprint(task.DB.Schema(), task.Target, task.TargetAttrs),
+		Data:              data,
+		BuildLog:          r.engine.Builder().BuildLog(),
+		// An interrupted run consumed RNG draws its log cannot replay
+		// (the abandoned build never completed), so the artifact carries
+		// the anytime theory without the exact-replay guarantee.
+		Degraded: r.TimedOut || r.Cancelled || r.Degraded(),
+	}
+	if err := art.Seal(); err != nil {
+		return nil, err
+	}
+	return art, nil
+}
+
+// SaveModel writes the run's sealed artifact to path; see BuildArtifact.
+func (r *Result) SaveModel(path string, task Task, data ModelDataRef) error {
+	art, err := r.BuildArtifact(task, data)
+	if err != nil {
+		return err
+	}
+	return art.Save(path)
+}
 
 // Covers reports whether the learned definition covers the example,
 // using the same ground-BC + θ-subsumption machinery as training.
@@ -461,6 +540,7 @@ func LearnCtx(ctx context.Context, task Task, opts Options) (*Result, error) {
 		res.covers = func(d *Definition, e Example) (bool, error) {
 			return l.Coverage().DefinitionCovers(d, e)
 		}
+		res.engine = l.Coverage()
 	} else {
 		l := learn.New(task.DB, compiled, learn.Options{
 			Bottom:        opts.bottomOptions(),
@@ -485,6 +565,7 @@ func LearnCtx(ctx context.Context, task Task, opts Options) (*Result, error) {
 		res.covers = func(d *Definition, e Example) (bool, error) {
 			return l.Coverage().DefinitionCovers(d, e)
 		}
+		res.engine = l.Coverage()
 	}
 	res.Elapsed = time.Since(start)
 	if mc != nil {

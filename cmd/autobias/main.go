@@ -21,15 +21,14 @@ package main
 
 import (
 	"bufio"
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
 	"time"
 
 	autobias "repro"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -48,6 +47,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "learning budget (0 = unlimited)")
 	workers := flag.Int("workers", 0, "coverage-test worker pool size (0 = all CPUs, 1 = sequential; results are identical at any setting)")
 	metricsOut := flag.String("metrics", "", "write run instrumentation (counters, histograms, spans) to this JSON file")
+	saveModel := flag.String("save-model", "", "write the learned model as a serving artifact (theory, bias, replay log) to this file; serve it with cmd/serve")
 	flag.Parse()
 
 	task, err := buildTask(*dataset, *scale, *seed, *csvDir, *target, *attrs, *posFile, *negFile)
@@ -74,9 +74,9 @@ func main() {
 		mc = autobias.NewMetricsCollector()
 		opts.Collector = mc
 	}
-	// Ctrl-C cancels the run mid-primitive; the partial definition
-	// learned so far is still printed (anytime semantics).
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C or SIGTERM cancels the run mid-primitive; the partial
+	// definition learned so far is still printed (anytime semantics).
+	ctx, stop := cli.NotifyContext()
 	defer stop()
 	res, err := autobias.LearnCtx(ctx, task, opts)
 	if err != nil {
@@ -97,12 +97,23 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("%% training metrics: precision=%.2f recall=%.2f f1=%.2f\n", m.Precision, m.Recall, m.F1)
-	// Snapshot after Evaluate so eval.examples_scored is included.
-	if mc != nil {
-		if err := mc.Snapshot().WriteFile(*metricsOut); err != nil {
+	// Capture the model after Evaluate: the artifact's replay log must
+	// include every build the coverage machinery ran.
+	if *saveModel != "" {
+		ref := autobias.ModelDataRef{CSVDir: *csvDir}
+		if *dataset != "" {
+			ref = autobias.ModelDataRef{Dataset: *dataset, Scale: *scale, Seed: *seed}
+		}
+		if err := res.SaveModel(*saveModel, task, ref); err != nil {
 			fmt.Fprintln(os.Stderr, "autobias:", err)
 			os.Exit(1)
 		}
+		fmt.Printf("%% model saved to %s\n", *saveModel)
+	}
+	// Snapshot after Evaluate so eval.examples_scored is included.
+	if err := cli.WriteMetrics(mc, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "autobias:", err)
+		os.Exit(1)
 	}
 	if code := reportDegradation(os.Stderr, "autobias", res.TimedOut, res.Cancelled, res.Report); code != 0 {
 		os.Exit(code)

@@ -19,10 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"text/tabwriter"
 
 	autobias "repro"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -41,17 +41,14 @@ func main() {
 		mc = autobias.NewMetricsCollector()
 	}
 	writeMetrics := func() {
-		if mc == nil {
-			return
-		}
-		if err := mc.Snapshot().WriteFile(*metricsOut); err != nil {
+		if err := cli.WriteMetrics(mc, *metricsOut); err != nil {
 			fmt.Fprintln(os.Stderr, "biasgen:", err)
 			os.Exit(1)
 		}
 	}
 
 	if *count {
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		ctx, stop := cli.NotifyContext()
 		defer stop()
 		if err := printCounts(ctx, *scale, *seed, *approx, *threshold, mc); err != nil {
 			fmt.Fprintln(os.Stderr, "biasgen:", err)

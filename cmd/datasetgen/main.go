@@ -20,11 +20,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strings"
 
 	autobias "repro"
+	"repro/internal/cli"
 	"repro/internal/metrics"
 )
 
@@ -44,7 +44,7 @@ func main() {
 	if dir == "" {
 		dir = "./" + *dataset + "-data"
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := cli.NotifyContext()
 	defer stop()
 	if err := run(ctx, *dataset, *scale, *seed, dir, mc); err != nil {
 		if ctx.Err() != nil {
@@ -54,11 +54,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "datasetgen:", err)
 		os.Exit(1)
 	}
-	if mc != nil {
-		if err := mc.Snapshot().WriteFile(*metricsOut); err != nil {
-			fmt.Fprintln(os.Stderr, "datasetgen:", err)
-			os.Exit(1)
-		}
+	if err := cli.WriteMetrics(mc, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "datasetgen:", err)
+		os.Exit(1)
 	}
 }
 

@@ -34,11 +34,11 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
 	"os"
-	"os/signal"
 	"strings"
 	"time"
 
 	autobias "repro"
+	"repro/internal/cli"
 )
 
 type config struct {
@@ -96,9 +96,9 @@ func main() {
 		out = io.MultiWriter(os.Stdout, f)
 	}
 
-	// Ctrl-C interrupts the sweep mid-primitive; in-flight folds return
-	// their partial theories, completed rows stay printed.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C or SIGTERM interrupts the sweep mid-primitive; in-flight
+	// folds return their partial theories, completed rows stay printed.
+	ctx, stop := cli.NotifyContext()
 	defer stop()
 	if *table == "5" || *table == "all" {
 		if err := runTable5(ctx, out, names, cfg); err != nil {
@@ -112,11 +112,9 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *metricsOut != "" {
-		if err := cfg.mc.Snapshot().WriteFile(*metricsOut); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
+	if err := cli.WriteMetrics(cfg.mc, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "experiments: interrupted; tables above are partial")

@@ -19,10 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"time"
 
 	autobias "repro"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -61,7 +61,7 @@ func main() {
 	if *metricsOut != "" {
 		mc = autobias.NewMetricsCollector()
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := cli.NotifyContext()
 	defer stop()
 	start := time.Now()
 	inds, err := autobias.DiscoverINDsCollect(ctx, d, *approx, mc)
@@ -86,10 +86,8 @@ func main() {
 	for _, i := range inds {
 		fmt.Println(" ", i)
 	}
-	if mc != nil {
-		if err := mc.Snapshot().WriteFile(*metricsOut); err != nil {
-			fmt.Fprintln(os.Stderr, "indiscover:", err)
-			os.Exit(1)
-		}
+	if err := cli.WriteMetrics(mc, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "indiscover:", err)
+		os.Exit(1)
 	}
 }

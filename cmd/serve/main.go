@@ -1,0 +1,97 @@
+// Command serve runs the inference server: it loads model artifacts
+// saved by `autobias -save-model`, rebinds each to its training data
+// (regenerated datasets or CSV directories), and answers point and
+// batch classification over HTTP/JSON with the verdict semantics the
+// models were trained under (see internal/serve).
+//
+// Usage:
+//
+//	autobias -dataset uw -save-model models/uw.model
+//	serve -models ./models -addr :8080
+//	curl localhost:8080/v1/models
+//	curl -X POST localhost:8080/v1/models/uw/predict \
+//	     -d '{"tuples": [["stud_0001","prof_0002"]]}'
+//
+// Endpoints: GET /healthz, GET /metrics (JSON snapshot), GET
+// /v1/models, GET /v1/models/{name}, POST /v1/models/{name}/predict,
+// and /debug/pprof/ — all on one port.
+//
+// SIGINT/SIGTERM drains gracefully: in-flight requests finish (bounded
+// by -drain-timeout), then the process exits 0.
+//
+// Exit codes: 0 clean drain, 1 error, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	autobias "repro"
+	"repro/internal/cli"
+	"repro/internal/serve"
+)
+
+func main() {
+	modelsDir := flag.String("models", "", "directory of *.model artifacts (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "per-request coverage worker pool (0 = all CPUs; verdicts are identical at any setting)")
+	csvDir := flag.String("csv", "", "override artifact CSV data paths with this directory")
+	maxConcurrent := flag.Int("max-concurrent", 64, "maximum in-flight predict requests")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
+	cacheLimit := flag.Int("cache-limit", 0, "unpinned ground-BC cache bound per model (0 = default 65536)")
+	metricsOut := flag.String("metrics", "", "write the final metrics snapshot to this JSON file on shutdown")
+	flag.Parse()
+
+	if *modelsDir == "" {
+		fmt.Fprintln(os.Stderr, "serve: -models is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// The collector is always on: it backs the live /metrics endpoint.
+	mc := autobias.NewMetricsCollector()
+	ctx, stop := cli.NotifyContext()
+	defer stop()
+
+	reg, err := serve.LoadDir(ctx, *modelsDir, serve.DefaultResolver(*csvDir), serve.Options{
+		Workers:    *workers,
+		CacheLimit: *cacheLimit,
+		Metrics:    mc,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	for _, name := range reg.Names() {
+		m, _ := reg.Get(name)
+		art := m.Artifact()
+		note := ""
+		if art.Degraded {
+			note = " [degraded: training run was interrupted; replay is best-effort]"
+		}
+		fmt.Printf("loaded %s: %s(%s), %d clauses, %d replayed builds%s\n",
+			name, art.Target, strings.Join(art.TargetAttrs, ","), m.Definition().Len(), len(art.BuildLog), note)
+	}
+
+	srv := serve.NewServer(reg, serve.ServerOptions{
+		MaxConcurrent:  *maxConcurrent,
+		RequestTimeout: *requestTimeout,
+		DrainTimeout:   *drainTimeout,
+		Metrics:        mc,
+	})
+	fmt.Printf("serving %d model(s) on %s\n", reg.Len(), *addr)
+	err = srv.ListenAndServe(ctx, *addr)
+	if werr := cli.WriteMetrics(mc, *metricsOut); werr != nil {
+		fmt.Fprintln(os.Stderr, "serve:", werr)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	fmt.Println("serve: drained cleanly")
+}

@@ -1,0 +1,61 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestWriteMetricsNoop(t *testing.T) {
+	if err := WriteMetrics(nil, "should-not-be-created.json"); err != nil {
+		t.Fatalf("nil collector: %v", err)
+	}
+	if _, err := os.Stat("should-not-be-created.json"); !os.IsNotExist(err) {
+		t.Fatalf("nil collector created a file")
+	}
+	if err := WriteMetrics(metrics.New(), ""); err != nil {
+		t.Fatalf("empty path: %v", err)
+	}
+}
+
+func TestWriteMetricsRoundTrip(t *testing.T) {
+	mc := metrics.New()
+	mc.Inc(metrics.ServeModelsLoaded)
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := WriteMetrics(mc, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("written metrics are not valid snapshot JSON: %v", err)
+	}
+	if snap.Counters["serve.models_loaded"] != 1 {
+		t.Fatalf("serve.models_loaded = %d, want 1", snap.Counters["serve.models_loaded"])
+	}
+}
+
+func TestNotifyContextSIGTERM(t *testing.T) {
+	ctx, stop := NotifyContext()
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGTERM did not cancel the context")
+	}
+	if ctx.Err() != context.Canceled {
+		t.Fatalf("ctx.Err() = %v", ctx.Err())
+	}
+}

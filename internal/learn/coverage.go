@@ -89,6 +89,12 @@ type CoverageEngine struct {
 	// fallback, so the example key is hashed once per example rather
 	// than on every miss.
 	seeds map[string]int64
+	// pinned marks cache entries that must survive EvictUnpinned: BCs
+	// restored by a model replay (internal/serve) are order-dependent
+	// products of the shared builder's RNG sequence and cannot be
+	// rebuilt on demand, unlike pooled derived-seed BCs. Nil until
+	// PinCached is called; guarded by mu.
+	pinned map[string]bool
 
 	// tests counts subsumption checks, for instrumentation.
 	tests atomic.Int64
@@ -158,6 +164,77 @@ func (ce *CoverageEngine) SetWorkers(n int) {
 
 // Workers returns the configured pool bound.
 func (ce *CoverageEngine) Workers() int { return ce.workers }
+
+// Builder returns the engine's shared bottom-clause builder. Exposed so
+// model capture (internal/model via the facade) can read its options and
+// build log; callers must respect the builder's single-goroutine
+// contract.
+func (ce *CoverageEngine) Builder() *bottom.Builder { return ce.builder }
+
+// SubsumeOptions returns the engine's effective subsumption options (the
+// values every coverage test runs under, after NewCoverage's defaulting).
+func (ce *CoverageEngine) SubsumeOptions() subsume.Options { return ce.subOpts }
+
+// Interner returns the engine's intern table, for serializing its
+// symbols into a model artifact or warming a serving engine's table.
+func (ce *CoverageEngine) Interner() *logic.Interner { return ce.in }
+
+// PinCached marks every currently cached ground BC as pinned and returns
+// how many entries were pinned. Pinned entries survive EvictUnpinned:
+// the serving engine pins the BCs restored by a training replay, whose
+// contents depend on the shared builder's RNG order and could not be
+// rebuilt identically on demand.
+func (ce *CoverageEngine) PinCached() int {
+	ce.mu.Lock()
+	defer ce.mu.Unlock()
+	if ce.pinned == nil {
+		ce.pinned = make(map[string]bool, len(ce.cache))
+	}
+	for k := range ce.cache {
+		ce.pinned[k] = true
+	}
+	return len(ce.pinned)
+}
+
+// CachedBCs returns the number of ground BCs currently cached.
+func (ce *CoverageEngine) CachedBCs() int {
+	ce.mu.RLock()
+	n := len(ce.cache)
+	ce.mu.RUnlock()
+	return n
+}
+
+// EvictUnpinned bounds the engine's memory for long-running serving: when
+// more than limit unpinned ground BCs are cached, it drops all of them
+// (with their derived seeds) and clears the verdict memo, returning the
+// number of BCs evicted. Eviction never changes verdicts — pinned BCs
+// stay, evicted ones were built on per-example derived-seed clones and
+// rebuild identically on the next miss, and re-running a subsumption test
+// over the same BC is pure (see the subsume concurrency contract).
+func (ce *CoverageEngine) EvictUnpinned(limit int) int {
+	if limit < 0 {
+		limit = 0
+	}
+	ce.mu.Lock()
+	defer ce.mu.Unlock()
+	unpinned := len(ce.cache) - len(ce.pinned)
+	if unpinned <= limit {
+		return 0
+	}
+	evicted := 0
+	for k := range ce.cache {
+		if ce.pinned[k] {
+			continue
+		}
+		delete(ce.cache, k)
+		delete(ce.seeds, k)
+		evicted++
+	}
+	// The memo may reference evicted examples; recomputation is pure, so
+	// dropping it wholesale is simpler than per-example bookkeeping.
+	ce.results = make(map[*logic.Clause]map[string]bool)
+	return evicted
+}
 
 // SetMetrics directs the engine's instrumentation to mc; nil disables
 // it. Must be called before the engine runs tests (same contract as
@@ -331,6 +408,33 @@ func (ce *CoverageEngine) Covers(c *logic.Clause, e Example) (bool, error) {
 // (the outcome of an interrupted test is never memoized).
 func (ce *CoverageEngine) CoversCtx(ctx context.Context, c *logic.Clause, e Example) (bool, error) {
 	return ce.covers(ctx, c, e, false)
+}
+
+// CoversPooledCtx is CoversCtx through the pooled BC path: a cache miss
+// builds the example's ground BC on a clone of the builder seeded from
+// the example (never the shared builder), so the verdict is a pure
+// function of (engine configuration, example) — independent of request
+// order, concurrency, and process restarts. This is the serving path
+// (internal/serve): the shared builder's RNG position must stay exactly
+// where a model replay left it, and concurrent requests must not
+// serialize on BC construction.
+func (ce *CoverageEngine) CoversPooledCtx(ctx context.Context, c *logic.Clause, e Example) (bool, error) {
+	return ce.covers(ctx, c, e, true)
+}
+
+// DefinitionCoversPooledCtx is DefinitionCoversCtx through the pooled BC
+// path; see CoversPooledCtx for the order-invariance contract.
+func (ce *CoverageEngine) DefinitionCoversPooledCtx(ctx context.Context, d *logic.Definition, e Example) (bool, error) {
+	for _, c := range d.Clauses {
+		ok, err := ce.covers(ctx, c, e, true)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 func (ce *CoverageEngine) covers(ctx context.Context, c *logic.Clause, e Example, pooled bool) (bool, error) {

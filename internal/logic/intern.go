@@ -84,6 +84,18 @@ func (in *Interner) Value(id int32) string {
 	return s
 }
 
+// Symbols returns a copy of the intern table in id order (index == id,
+// [0] is the reserved empty string). Model artifacts serialize this so
+// a serving process can rebuild the table a learner trained with; ids
+// never affect match outcomes, so the copy exists for inspection and
+// warm starts, not correctness.
+func (in *Interner) Symbols() []string {
+	in.mu.RLock()
+	out := append([]string(nil), in.strs...)
+	in.mu.RUnlock()
+	return out
+}
+
 // Len returns the number of interned strings (including the reserved
 // empty string).
 func (in *Interner) Len() int {

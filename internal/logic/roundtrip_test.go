@@ -1,0 +1,90 @@
+package logic
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenTheoryRoundTrip proves the theory serialization the model
+// artifacts rely on (internal/model stores theories as printed text):
+// for every checked-in golden theory, parse → print → reparse is the
+// identity, and printing reaches a fixed point. If this breaks, saved
+// models stop reproducing their theories.
+func TestGoldenTheoryRoundTrip(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "golden", "*.pl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no golden theories found; the round-trip property is untested")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			def, err := ParseDefinition(string(data))
+			if err != nil {
+				t.Fatalf("golden theory does not parse: %v", err)
+			}
+			// Golden files may pin an empty theory (header only); the
+			// round trip must still hold on them.
+			printed := def.String()
+			re, err := ParseDefinition(printed)
+			if err != nil {
+				t.Fatalf("printed theory does not reparse: %v\n%s", err, printed)
+			}
+			if re.Len() != def.Len() {
+				t.Fatalf("reparse changed clause count: %d → %d", def.Len(), re.Len())
+			}
+			if re.Target != def.Target {
+				t.Fatalf("reparse changed target: %q → %q", def.Target, re.Target)
+			}
+			for i := range def.Clauses {
+				a, b := def.Clauses[i], re.Clauses[i]
+				if !a.Head.Equal(b.Head) {
+					t.Fatalf("clause %d: head changed: %v → %v", i, a.Head, b.Head)
+				}
+				if len(a.Body) != len(b.Body) {
+					t.Fatalf("clause %d: body length changed: %d → %d", i, len(a.Body), len(b.Body))
+				}
+				for j := range a.Body {
+					if !a.Body[j].Equal(b.Body[j]) {
+						t.Fatalf("clause %d literal %d: %v → %v", i, j, a.Body[j], b.Body[j])
+					}
+				}
+			}
+			// Printing is a fixed point: a second print emits the same
+			// bytes, so the text form is canonical.
+			if again := re.String(); again != printed {
+				t.Fatalf("printing is not a fixed point:\nfirst:  %s\nsecond: %s", printed, again)
+			}
+			// And the golden file's own clause lines equal the printed
+			// form line by line (comments aside) — the files are written
+			// by this printer and must stay byte-stable under it.
+			var clauseLines []string
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if line == "" || strings.HasPrefix(line, "%") {
+					continue
+				}
+				clauseLines = append(clauseLines, line)
+			}
+			printedLines := strings.Split(strings.TrimSpace(printed), "\n")
+			if printed == "" {
+				printedLines = nil
+			}
+			if len(clauseLines) != len(printedLines) {
+				t.Fatalf("golden has %d clause lines, printer emits %d", len(clauseLines), len(printedLines))
+			}
+			for i := range clauseLines {
+				if clauseLines[i] != printedLines[i] {
+					t.Fatalf("line %d differs from printer output:\ngolden:  %s\nprinted: %s", i, clauseLines[i], printedLines[i])
+				}
+			}
+		})
+	}
+}

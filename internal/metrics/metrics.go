@@ -121,6 +121,24 @@ const (
 	// SubsumeBudgetExhausted counts tests that gave up their node budget
 	// and answered sound-negative (§5's approximation). Gauge.
 	SubsumeBudgetExhausted
+	// ServeRequests counts predict requests accepted by the inference
+	// server. Gauge: a function of traffic, not of the learning run.
+	ServeRequests
+	// ServePredictions counts individual tuple classifications served
+	// (point requests count 1, batch requests their batch size). Gauge.
+	ServePredictions
+	// ServeCovered counts served predictions that answered "covered".
+	// Gauge.
+	ServeCovered
+	// ServeErrors counts predict requests that failed (bad input, unknown
+	// model, timeout). Gauge.
+	ServeErrors
+	// ServeBCEvictions counts ground BCs evicted from serving engines'
+	// caches by the cache bound. Gauge.
+	ServeBCEvictions
+	// ServeModelsLoaded counts model artifacts loaded into the serving
+	// registry. Deterministic: a pure function of the models directory.
+	ServeModelsLoaded
 
 	numCounters
 )
@@ -167,6 +185,12 @@ var counterDefs = [numCounters]counterDef{
 	SubsumeTests:              {"subsume.tests", false, kindSum},
 	SubsumeNodes:              {"subsume.nodes", false, kindSum},
 	SubsumeBudgetExhausted:    {"subsume.budget_exhausted", false, kindSum},
+	ServeRequests:             {"serve.requests", false, kindSum},
+	ServePredictions:          {"serve.predictions", false, kindSum},
+	ServeCovered:              {"serve.predictions_covered", false, kindSum},
+	ServeErrors:               {"serve.request_errors", false, kindSum},
+	ServeBCEvictions:          {"serve.bc_evictions", false, kindSum},
+	ServeModelsLoaded:         {"serve.models_loaded", true, kindSum},
 }
 
 // HistID identifies one histogram.
@@ -181,6 +205,8 @@ const (
 	// HistSubsumeNodes distributes per-test binding attempts. Gauge-class
 	// (the executed test set depends on scheduling).
 	HistSubsumeNodes
+	// HistServeBatch distributes predict-request batch sizes. Gauge-class.
+	HistServeBatch
 
 	numHists
 )
@@ -202,6 +228,8 @@ var histDefs = [numHists]histDef{
 		[]int64{0, 1, 5, 10, 25, 50, 75, 100}},
 	HistSubsumeNodes: {"subsume.nodes_per_test", false,
 		[]int64{0, 10, 100, 1000, 10000, 100000, 1000000}},
+	HistServeBatch: {"serve.batch_size", false,
+		[]int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}},
 }
 
 // SpanID identifies one wall-clock stage span.
@@ -222,6 +250,10 @@ const (
 	SpanEval
 	// SpanDatagen covers benchmark dataset generation.
 	SpanDatagen
+	// SpanServeReplay covers one model's training-log replay at load.
+	SpanServeReplay
+	// SpanServePredict covers one predict request end to end.
+	SpanServePredict
 
 	numSpans
 )
@@ -234,6 +266,8 @@ var spanNames = [numSpans]string{
 	SpanLearn:           "learn.run",
 	SpanEval:            "eval.evaluate",
 	SpanDatagen:         "datagen.generate",
+	SpanServeReplay:     "serve.replay",
+	SpanServePredict:    "serve.predict",
 }
 
 type histState struct {

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/model"
+)
+
+// benchWorld is a larger grandparent chain (n people) so batches carry
+// real subsumption work rather than a handful of tiny BCs.
+func benchWorld(b *testing.B, n int) (*db.Database, *model.Artifact) {
+	b.Helper()
+	s := db.NewSchema()
+	if err := s.Add("parent", "a", "b"); err != nil {
+		b.Fatal(err)
+	}
+	d := db.New(s)
+	for i := 0; i < n-1; i++ {
+		if err := d.Insert("parent", person(i), person(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	art := &model.Artifact{
+		Version:     model.Version,
+		Target:      "gp",
+		TargetAttrs: []string{"x", "z"},
+		Theory:      "gp(X,Z) :- parent(X,Y), parent(Y,Z).",
+		Bias: "parent(person,person)\n" +
+			"gp(person,person)\n" +
+			"parent(+,-)\n" +
+			"parent(-,+)\n",
+		Bottom:            model.BottomConfig{Strategy: "Naive", Depth: 2, SampleSize: 20, MaxLiterals: 400, Seed: 1},
+		Subsume:           model.SubsumeConfig{MaxNodes: 5000, Seed: 1},
+		SchemaFingerprint: model.Fingerprint(s, "gp", []string{"x", "z"}),
+	}
+	return d, art
+}
+
+func person(i int) string { return fmt.Sprintf("p%03d", i) }
+
+// BenchmarkPredictBatch measures batch-inference throughput
+// (predictions per second) at several worker counts. The cache limit is
+// set below the batch size so every iteration pays the full serving
+// cost — BC construction on derived-seed clones, ground compilation,
+// and the compiled subsumption check — rather than replaying the
+// verdict memo.
+func BenchmarkPredictBatch(b *testing.B) {
+	const people = 200
+	const batch = 64
+	d, art := benchWorld(b, people)
+	examples := make([]Example, batch)
+	for i := range examples {
+		if i%2 == 0 {
+			examples[i], _ = parseGround(fmt.Sprintf("gp(%s,%s)", person(i), person(i+2)))
+		} else {
+			examples[i], _ = parseGround(fmt.Sprintf("gp(%s,%s)", person(i), person(i+3)))
+		}
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			m, err := Bind(context.Background(), "gp", art, d, Options{Workers: workers, CacheLimit: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.PredictBatch(context.Background(), examples); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "predictions/sec")
+		})
+	}
+}

@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ServerOptions configures the HTTP layer.
+type ServerOptions struct {
+	// MaxConcurrent bounds in-flight predict requests; <=0 selects 64.
+	// Excess requests queue on the semaphore and respect their context.
+	MaxConcurrent int
+	// RequestTimeout bounds one predict request end to end; <=0 selects
+	// 30s. The deadline threads through the engine, so a slow
+	// subsumption search is interrupted mid-test, not at a boundary.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown; <=0 selects 10s.
+	DrainTimeout time.Duration
+	// Metrics, when non-nil, backs the /metrics endpoint and receives
+	// request counters.
+	Metrics *metrics.Collector
+}
+
+func (o ServerOptions) normalized() ServerOptions {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 64
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// Server serves a registry over HTTP/JSON.
+type Server struct {
+	reg  *Registry
+	opts ServerOptions
+	sem  chan struct{}
+	mux  *http.ServeMux
+}
+
+// NewServer wires the registry's handlers onto one mux: health, model
+// listing and inspection, prediction, a JSON metrics snapshot, and the
+// standard pprof endpoints (same mux, same port — one process, one
+// observability surface).
+func NewServer(reg *Registry, opts ServerOptions) *Server {
+	opts = opts.normalized()
+	s := &Server{
+		reg:  reg,
+		opts: opts,
+		sem:  make(chan struct{}, opts.MaxConcurrent),
+		mux:  http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("GET /v1/models/{name}", s.handleModel)
+	s.mux.HandleFunc("POST /v1/models/{name}/predict", s.handlePredict)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the server's mux, for tests and embedding.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts on ln until ctx is cancelled, then drains gracefully:
+// in-flight requests get DrainTimeout to finish before the listener's
+// error is returned. A clean drain returns nil.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s.mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(drainCtx); err != nil {
+			return fmt.Errorf("serve: drain: %w", err)
+		}
+		<-errCh // always http.ErrServerClosed after Shutdown
+		return nil
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.opts.Metrics.Inc(metrics.ServeErrors)
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": s.reg.Len()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.opts.Metrics.Snapshot())
+}
+
+// modelInfo is the public description of one bound model.
+type modelInfo struct {
+	Name        string   `json:"name"`
+	Target      string   `json:"target"`
+	TargetAttrs []string `json:"target_attrs"`
+	Clauses     int      `json:"clauses"`
+	Theory      string   `json:"theory,omitempty"`
+	Degraded    bool     `json:"degraded,omitempty"`
+	CachedBCs   int      `json:"cached_bcs"`
+}
+
+func (s *Server) info(m *Model, full bool) modelInfo {
+	info := modelInfo{
+		Name:        m.Name(),
+		Target:      m.art.Target,
+		TargetAttrs: m.art.TargetAttrs,
+		Clauses:     m.def.Len(),
+		Degraded:    m.art.Degraded,
+		CachedBCs:   m.CachedBCs(),
+	}
+	if full {
+		info.Theory = m.art.Theory
+	}
+	return info
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	out := make([]modelInfo, 0, s.reg.Len())
+	for _, name := range s.reg.Names() {
+		m, _ := s.reg.Get(name)
+		out = append(out, s.info(m, false))
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"models": out})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.reg.Get(r.PathValue("name"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("no such model %q", r.PathValue("name")))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.info(m, true))
+}
+
+// predictRequest carries one batch: tuples as attribute-value lists
+// and/or examples as ground literals ("advisedby(p1,p2)"). Order is
+// preserved in the response — tuples first, then examples.
+type predictRequest struct {
+	Tuples   [][]string `json:"tuples,omitempty"`
+	Examples []string   `json:"examples,omitempty"`
+}
+
+type prediction struct {
+	Input   string `json:"input"`
+	Covered bool   `json:"covered"`
+}
+
+type predictResponse struct {
+	Model       string       `json:"model"`
+	Predictions []prediction `json:"predictions"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.opts.Metrics.Inc(metrics.ServeRequests)
+	m, ok := s.reg.Get(r.PathValue("name"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("no such model %q", r.PathValue("name")))
+		return
+	}
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Tuples)+len(req.Examples) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("empty request: provide tuples and/or examples"))
+		return
+	}
+	examples, err := m.decodeBatch(req)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	// Bounded concurrency: acquire a slot or give up when the caller
+	// does. Queued requests keep their full deadline — the timeout
+	// covers the work, the context covers the wait.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("server at capacity: %w", ctx.Err()))
+		return
+	}
+
+	verdicts, err := m.PredictBatch(ctx, examples)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			status = http.StatusServiceUnavailable
+		}
+		s.fail(w, status, err)
+		return
+	}
+	resp := predictResponse{Model: m.Name(), Predictions: make([]prediction, len(examples))}
+	for i, e := range examples {
+		resp.Predictions[i] = prediction{Input: e.String(), Covered: verdicts[i]}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeBatch turns a predict request into ground literals, tuples
+// first, and validates each against the model's target signature so
+// malformed inputs surface as 400s, not engine errors. Parse and
+// validation errors carry the offending input.
+func (m *Model) decodeBatch(req predictRequest) ([]Example, error) {
+	out := make([]Example, 0, len(req.Tuples)+len(req.Examples))
+	for _, vals := range req.Tuples {
+		out = append(out, m.TupleExample(vals))
+	}
+	for _, s := range req.Examples {
+		e, err := parseGround(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	for _, e := range out {
+		if err := m.checkExample(e); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,428 @@
+// Package serve is the inference half of the system: it loads model
+// artifacts (internal/model), rebinds them to their databases, and
+// answers point and batch coverage queries with the verdict semantics
+// the learner trained under.
+//
+// Binding a model is where the round-trip guarantee is enforced. The
+// artifact's schema fingerprint is checked against the live database
+// (stale model + changed schema fails loudly); the training engine is
+// reconstructed — same bias compilation, same bottom-clause options,
+// same subsumption options; and the training build log is replayed
+// through a fresh builder with the training seed, restoring the exact
+// ground bottom clauses the learner tested against. Replayed BCs are
+// pinned in the engine cache and each one's subsumption index is
+// compiled once (subsume.CompileGround), so steady-state prediction is
+// CheckCompiled against a warm index — the 0-alloc path.
+//
+// Fresh examples (never seen in training) miss the pinned cache and are
+// built on per-example derived-seed builder clones: their verdicts are a
+// pure function of (model, example), invariant under request order,
+// concurrency, and process restarts. Their BCs are evictable
+// (Options.CacheLimit) because an identical rebuild is always one miss
+// away.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/bottom"
+	"repro/internal/datagen"
+	"repro/internal/db"
+	"repro/internal/learn"
+	"repro/internal/logic"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+// Example is a ground literal of a model's target relation.
+type Example = logic.Literal
+
+// parseGround parses a ground target literal from its string form, e.g.
+// "advisedby(person_0001,person_0002)".
+func parseGround(s string) (Example, error) { return model.ParseExample(s) }
+
+// Options configures model binding.
+type Options struct {
+	// Workers bounds per-request coverage parallelism; <=0 selects
+	// GOMAXPROCS (the engine's convention).
+	Workers int
+	// CacheLimit bounds the number of unpinned ground BCs kept per model
+	// before a post-request eviction sweep; <=0 selects 65536. Pinned
+	// (replayed) BCs never count against it.
+	CacheLimit int
+	// Metrics, when non-nil, receives serve counters and engine
+	// instrumentation.
+	Metrics *metrics.Collector
+}
+
+func (o Options) normalized() Options {
+	if o.CacheLimit <= 0 {
+		o.CacheLimit = 65536
+	}
+	return o
+}
+
+// Model is one bound model: an artifact, its database, and a warmed
+// coverage engine. Safe for concurrent use.
+type Model struct {
+	name       string
+	art        *model.Artifact
+	def        *logic.Definition
+	engine     *learn.CoverageEngine
+	db         *db.Database
+	cacheLimit int
+	mc         *metrics.Collector
+}
+
+// Bind reconstructs a model's training engine over the database and
+// replays its build log; see the package comment for what that buys.
+// A schema fingerprint mismatch is a hard error: the database no longer
+// has the shape the model was trained on.
+func Bind(ctx context.Context, name string, art *model.Artifact, database *db.Database, opts Options) (*Model, error) {
+	opts = opts.normalized()
+	if err := art.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", name, err)
+	}
+	if got := model.Fingerprint(database.Schema(), art.Target, art.TargetAttrs); got != art.SchemaFingerprint {
+		return nil, fmt.Errorf(
+			"serve: model %q is stale: artifact schema fingerprint %.12s… does not match database %.12s… (the schema changed since training; retrain or rebind the original data)",
+			name, art.SchemaFingerprint, got)
+	}
+	def, err := art.Definition()
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", name, err)
+	}
+	spec, err := art.BiasSpec()
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", name, err)
+	}
+	compiled, err := spec.Compile(database.Schema(), art.Target, len(art.TargetAttrs))
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %q: bias does not compile against database: %w", name, err)
+	}
+	bopts, err := art.BottomOptions()
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", name, err)
+	}
+	builder := bottom.NewBuilder(database, compiled, bopts)
+	engine := learn.NewCoverage(builder, art.SubsumeOptions())
+	engine.SetWorkers(opts.Workers)
+	engine.SetMetrics(opts.Metrics)
+	// Warm the intern table with the training table, in id order. Ids
+	// never affect verdicts, but replaying the table keeps the serving
+	// engine's ids equal to training's, which makes artifacts and engine
+	// dumps directly comparable when debugging.
+	engine.Interner().InternAll(art.Symbols...)
+
+	if err := replay(ctx, art, builder, engine, opts.Metrics); err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", name, err)
+	}
+	engine.PinCached()
+
+	return &Model{
+		name:       name,
+		art:        art,
+		def:        def,
+		engine:     engine,
+		db:         database,
+		cacheLimit: opts.CacheLimit,
+		mc:         opts.Metrics,
+	}, nil
+}
+
+// replay re-runs the training build log through the fresh builder. Every
+// logged build consumed shared-RNG draws in training, so every logged
+// build must run here, in order: ground builds land in the engine cache
+// (compiled, ready to serve), variabilized builds are discarded — they
+// exist only to advance the RNG to where the next ground build expects
+// it. A ground example logged twice (impossible via the engine, possible
+// in a hand-built log) is re-built directly on the builder the second
+// time, since the engine's cache hit would skip the RNG draws.
+func replay(ctx context.Context, art *model.Artifact, builder *bottom.Builder, engine *learn.CoverageEngine, mc *metrics.Collector) error {
+	span := mc.StartSpan()
+	defer mc.EndSpan(metrics.SpanServeReplay, span)
+	seen := make(map[string]bool, len(art.BuildLog))
+	for i, rec := range art.BuildLog {
+		ex, err := model.ParseExample(rec.Example)
+		if err != nil {
+			return fmt.Errorf("build log entry %d: %w", i, err)
+		}
+		switch {
+		case !rec.Ground:
+			if _, err := builder.ConstructCtx(ctx, ex); err != nil {
+				return fmt.Errorf("build log entry %d (replay %s): %w", i, rec.Example, err)
+			}
+		case seen[rec.Example]:
+			if _, err := builder.ConstructGroundCtx(ctx, ex); err != nil {
+				return fmt.Errorf("build log entry %d (replay %s): %w", i, rec.Example, err)
+			}
+		default:
+			if _, err := engine.GroundBCCtx(ctx, ex); err != nil {
+				return fmt.Errorf("build log entry %d (replay %s): %w", i, rec.Example, err)
+			}
+			seen[rec.Example] = true
+		}
+	}
+	return nil
+}
+
+// Name returns the model's registry name.
+func (m *Model) Name() string { return m.name }
+
+// Artifact returns the bound artifact (read-only by convention).
+func (m *Model) Artifact() *model.Artifact { return m.art }
+
+// Definition returns the learned theory.
+func (m *Model) Definition() *logic.Definition { return m.def }
+
+// CachedBCs reports the engine's current ground-BC cache size.
+func (m *Model) CachedBCs() int { return m.engine.CachedBCs() }
+
+// checkExample validates that e queries this model's target relation.
+func (m *Model) checkExample(e logic.Literal) error {
+	if e.Predicate != m.art.Target {
+		return fmt.Errorf("serve: model %q classifies %s/%d, not %s/%d",
+			m.name, m.art.Target, len(m.art.TargetAttrs), e.Predicate, e.Arity())
+	}
+	if e.Arity() != len(m.art.TargetAttrs) {
+		return fmt.Errorf("serve: model %q: %s takes %d attributes (%s), got %d",
+			m.name, m.art.Target, len(m.art.TargetAttrs), strings.Join(m.art.TargetAttrs, ","), e.Arity())
+	}
+	if !e.IsGround() {
+		return fmt.Errorf("serve: example %s is not ground", e.String())
+	}
+	return nil
+}
+
+// PredictExample reports whether the learned theory covers the ground
+// example, with the training verdict semantics (see the package
+// comment).
+func (m *Model) PredictExample(ctx context.Context, e logic.Literal) (bool, error) {
+	if err := m.checkExample(e); err != nil {
+		return false, err
+	}
+	span := m.mc.StartSpan()
+	covered, err := m.engine.DefinitionCoversPooledCtx(ctx, m.def, e)
+	m.mc.EndSpan(metrics.SpanServePredict, span)
+	if err != nil {
+		return false, err
+	}
+	m.notePredictions(1, covered)
+	m.maybeEvict()
+	return covered, nil
+}
+
+// PredictTuple classifies a tuple of the target relation given as
+// attribute values in schema order.
+func (m *Model) PredictTuple(ctx context.Context, values []string) (bool, error) {
+	return m.PredictExample(ctx, m.TupleExample(values))
+}
+
+// TupleExample builds the ground target literal for a tuple's attribute
+// values. (Arity errors surface at predict time via checkExample.)
+func (m *Model) TupleExample(values []string) logic.Literal {
+	terms := make([]logic.Term, len(values))
+	for i, v := range values {
+		terms[i] = logic.Const(v)
+	}
+	return logic.NewLiteral(m.art.Target, terms...)
+}
+
+// PredictBatch classifies every example, fanning the independent
+// coverage tests across the model's worker bound with strided
+// assignment. Verdicts are positionally aligned with the input and
+// identical at every worker count (each test is a pure function of the
+// example — the pooled-path contract).
+func (m *Model) PredictBatch(ctx context.Context, examples []logic.Literal) ([]bool, error) {
+	for _, e := range examples {
+		if err := m.checkExample(e); err != nil {
+			return nil, err
+		}
+	}
+	span := m.mc.StartSpan()
+	defer m.mc.EndSpan(metrics.SpanServePredict, span)
+	m.mc.Observe(metrics.HistServeBatch, int64(len(examples)))
+
+	out := make([]bool, len(examples))
+	nw := m.engine.Workers()
+	if nw > len(examples) {
+		nw = len(examples)
+	}
+	var err error
+	if nw <= 1 {
+		for i, e := range examples {
+			out[i], err = m.engine.DefinitionCoversPooledCtx(ctx, m.def, e)
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var (
+			wg       sync.WaitGroup
+			errMu    sync.Mutex
+			firstErr error
+		)
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(examples); i += nw {
+					ok, cerr := m.engine.DefinitionCoversPooledCtx(ctx, m.def, examples[i])
+					if cerr != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = cerr
+						}
+						errMu.Unlock()
+						return
+					}
+					out[i] = ok
+				}
+			}(w)
+		}
+		wg.Wait()
+		err = firstErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	covered := 0
+	for _, ok := range out {
+		if ok {
+			covered++
+		}
+	}
+	m.mc.Add(metrics.ServePredictions, int64(len(examples)))
+	m.mc.Add(metrics.ServeCovered, int64(covered))
+	m.maybeEvict()
+	return out, nil
+}
+
+func (m *Model) notePredictions(n int, covered bool) {
+	m.mc.Add(metrics.ServePredictions, int64(n))
+	if covered {
+		m.mc.Inc(metrics.ServeCovered)
+	}
+}
+
+// maybeEvict runs the engine's bounded-memory sweep after a request.
+func (m *Model) maybeEvict() {
+	if n := m.engine.EvictUnpinned(m.cacheLimit); n > 0 {
+		m.mc.Add(metrics.ServeBCEvictions, int64(n))
+	}
+}
+
+// Registry holds the bound models of a serving process, keyed by name.
+type Registry struct {
+	models map[string]*Model
+	names  []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]*Model)}
+}
+
+// Add registers the model under its name, replacing any previous
+// binding.
+func (r *Registry) Add(m *Model) {
+	if _, ok := r.models[m.name]; !ok {
+		r.names = append(r.names, m.name)
+		sort.Strings(r.names)
+	}
+	r.models[m.name] = m
+}
+
+// Get returns the named model.
+func (r *Registry) Get(name string) (*Model, bool) {
+	m, ok := r.models[name]
+	return m, ok
+}
+
+// Names lists registered model names in sorted order.
+func (r *Registry) Names() []string { return append([]string(nil), r.names...) }
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int { return len(r.models) }
+
+// DBResolver maps an artifact's data reference to a live database.
+type DBResolver func(model.DataRef) (*db.Database, error)
+
+// DefaultResolver resolves generated datasets by regenerating them and
+// CSV references by loading the directory (csvOverride, when non-empty,
+// replaces every artifact's CSV path — the serving host's data rarely
+// lives where the training host's did). Databases are cached by
+// reference, so models trained on the same data share one instance.
+func DefaultResolver(csvOverride string) DBResolver {
+	cache := make(map[string]*db.Database)
+	return func(ref model.DataRef) (*db.Database, error) {
+		if ref.IsZero() {
+			return nil, fmt.Errorf("serve: artifact has no data reference; pass the data explicitly")
+		}
+		if ref.CSVDir != "" && csvOverride != "" {
+			ref.CSVDir = csvOverride
+		}
+		key := ref.Key()
+		if d, ok := cache[key]; ok {
+			return d, nil
+		}
+		var (
+			d   *db.Database
+			err error
+		)
+		if ref.Dataset != "" {
+			var ds *datagen.Dataset
+			ds, err = datagen.Generate(ref.Dataset, datagen.Config{Scale: ref.Scale, Seed: ref.Seed})
+			if err == nil {
+				d = ds.DB
+			}
+		} else {
+			d, err = db.LoadCSVDir(ref.CSVDir)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serve: resolving %s: %w", key, err)
+		}
+		cache[key] = d
+		return d, nil
+	}
+}
+
+// LoadDir loads every *.model artifact in dir (sorted, so registry
+// contents are deterministic), resolves each one's database, and binds
+// it under its file base name. Any bad artifact fails the whole load:
+// a serving process with a silently missing model is worse than one
+// that refuses to start.
+func LoadDir(ctx context.Context, dir string, resolve DBResolver, opts Options) (*Registry, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.model"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("serve: no *.model files in %s", dir)
+	}
+	sort.Strings(paths)
+	r := NewRegistry()
+	for _, p := range paths {
+		art, err := model.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		database, err := resolve(art.Data)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %s: %w", p, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(p), ".model")
+		m, err := Bind(ctx, name, art, database, opts)
+		if err != nil {
+			return nil, err
+		}
+		r.Add(m)
+		opts.Metrics.Inc(metrics.ServeModelsLoaded)
+	}
+	return r, nil
+}

@@ -1,0 +1,175 @@
+package autobias
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestServeRoundTrip is the PR's acceptance property end to end: learn a
+// theory, save it with -save-model's machinery, load it into the serving
+// stack, and verify that batch-classifying the training examples
+// reproduces the learner's own coverage verdicts bit for bit — at every
+// worker count. The guarantee rests on the artifact's build-log replay
+// (see internal/model): coverage verdicts depend on sampled ground
+// bottom clauses, and replay restores the exact BCs training used.
+func TestServeRoundTrip(t *testing.T) {
+	ds, err := GenerateDataset("uw", 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := TaskFromDataset(ds)
+	if len(task.Pos) > 12 {
+		task.Pos = task.Pos[:12]
+	}
+	if len(task.Neg) > 60 {
+		task.Neg = task.Neg[:60]
+	}
+	res, err := Learn(task, Options{Method: MethodAutoBias, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Definition.Len() == 0 {
+		t.Fatal("learner produced no clauses; the round-trip test would be vacuous")
+	}
+
+	// The learner's own verdicts, captured BEFORE the artifact so every
+	// ground BC these queries touch is in the build log.
+	examples := append(append([]Example(nil), task.Pos...), task.Neg...)
+	want := make([]bool, len(examples))
+	for i, e := range examples {
+		want[i], err = res.Covers(e)
+		if err != nil {
+			t.Fatalf("learner verdict for %v: %v", e, err)
+		}
+	}
+
+	dir := t.TempDir()
+	if err := res.SaveModel(filepath.Join(dir, "uw.model"), task, ModelDataRef{Dataset: "uw", Scale: 0.1, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			reg, err := serve.LoadDir(context.Background(), dir, serve.DefaultResolver(""), serve.Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, ok := reg.Get("uw")
+			if !ok {
+				t.Fatal("model uw not in registry")
+			}
+
+			// Batch path: bit-for-bit agreement with the learner.
+			got, err := m.PredictBatch(context.Background(), examples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("%v: served verdict %v, learner said %v", examples[i], got[i], want[i])
+				}
+			}
+
+			// Point path agrees too.
+			for _, i := range []int{0, len(task.Pos), len(examples) - 1} {
+				ok, err := m.PredictExample(context.Background(), examples[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok != want[i] {
+					t.Errorf("point %v: served %v, learner said %v", examples[i], ok, want[i])
+				}
+			}
+
+			// And over HTTP, through the real handler stack.
+			srv := serve.NewServer(reg, serve.ServerOptions{})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			reqBody := struct {
+				Examples []string `json:"examples"`
+			}{Examples: make([]string, len(examples))}
+			for i, e := range examples {
+				reqBody.Examples[i] = e.String()
+			}
+			data, err := json.Marshal(reqBody)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.Post(ts.URL+"/v1/models/uw/predict", "application/json", bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("predict over HTTP: %s", resp.Status)
+			}
+			var pr struct {
+				Predictions []struct {
+					Input   string `json:"input"`
+					Covered bool   `json:"covered"`
+				} `json:"predictions"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+				t.Fatal(err)
+			}
+			if len(pr.Predictions) != len(examples) {
+				t.Fatalf("HTTP returned %d predictions, want %d", len(pr.Predictions), len(examples))
+			}
+			for i, p := range pr.Predictions {
+				if p.Covered != want[i] {
+					t.Errorf("HTTP %s: served %v, learner said %v", p.Input, p.Covered, want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestServeArtifactFromResult checks BuildArtifact's own guarantees:
+// effective options are captured (not the zero-valued facade inputs),
+// the build log is non-empty, and the artifact seals and validates.
+func TestServeArtifactFromResult(t *testing.T) {
+	ds, err := GenerateDataset("uw", 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := TaskFromDataset(ds)
+	if len(task.Pos) > 6 {
+		task.Pos = task.Pos[:6]
+	}
+	if len(task.Neg) > 20 {
+		task.Neg = task.Neg[:20]
+	}
+	res, err := Learn(task, Options{Method: MethodAutoBias, Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := res.BuildArtifact(task, ModelDataRef{Dataset: "uw", Scale: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Checksum == "" {
+		t.Fatal("BuildArtifact returned an unsealed artifact")
+	}
+	// The facade left these zero; the artifact must hold the values the
+	// engine actually ran with.
+	if art.Subsume.MaxNodes <= 0 {
+		t.Fatalf("effective subsume MaxNodes not captured: %+v", art.Subsume)
+	}
+	if art.Bottom.Depth <= 0 || art.Bottom.SampleSize <= 0 {
+		t.Fatalf("effective bottom options not captured: %+v", art.Bottom)
+	}
+	if len(art.BuildLog) == 0 {
+		t.Fatal("build log is empty; replay would reproduce nothing")
+	}
+	if art.Degraded {
+		t.Fatal("clean run marked degraded")
+	}
+}
