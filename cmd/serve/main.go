@@ -14,7 +14,13 @@
 //
 // Endpoints: GET /healthz, GET /metrics (JSON snapshot), GET
 // /v1/models, GET /v1/models/{name}, POST /v1/models/{name}/predict,
-// and /debug/pprof/ — all on one port.
+// POST /admin/reload, and /debug/pprof/ — all on one port.
+//
+// Hot reload: SIGHUP or POST /admin/reload re-scans -models and swaps
+// changed artifacts in with zero downtime (the old version drains its
+// in-flight requests, new requests land on the new version). Unchanged
+// artifacts are skipped by checksum; a bad artifact keeps its last good
+// version serving.
 //
 // SIGINT/SIGTERM drains gracefully: in-flight requests finish (bounded
 // by -drain-timeout), then the process exits 0.
@@ -23,10 +29,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	autobias "repro"
@@ -39,10 +49,13 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "per-request coverage worker pool (0 = all CPUs; verdicts are identical at any setting)")
 	csvDir := flag.String("csv", "", "override artifact CSV data paths with this directory")
-	maxConcurrent := flag.Int("max-concurrent", 64, "maximum in-flight predict requests")
+	maxConcurrent := flag.Int("max-concurrent", 64, "maximum in-flight predict requests across all models")
+	maxBatch := flag.Int("max-batch", 4096, "maximum examples per predict request (larger batches get 413)")
+	modelConcurrency := flag.Int("model-concurrency", 32, "per-model concurrent predict budget; excess is shed with 503 (0 = unlimited)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
-	cacheLimit := flag.Int("cache-limit", 0, "unpinned ground-BC cache bound per model (0 = default 65536)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "per-model byte budget for fresh-example ground-BC entries (size-aware LRU; replayed training BCs are pinned outside it)")
+	memoLimit := flag.Int("memo-limit", 0, "per-model verdict memo entries per generation (0 = default 65536)")
 	metricsOut := flag.String("metrics", "", "write the final metrics snapshot to this JSON file on shutdown")
 	flag.Parse()
 
@@ -57,11 +70,15 @@ func main() {
 	ctx, stop := cli.NotifyContext()
 	defer stop()
 
-	reg, err := serve.LoadDir(ctx, *modelsDir, serve.DefaultResolver(*csvDir), serve.Options{
-		Workers:    *workers,
-		CacheLimit: *cacheLimit,
-		Metrics:    mc,
-	})
+	opts := serve.Options{
+		Workers:          *workers,
+		CacheBytes:       *cacheBytes,
+		MemoLimit:        *memoLimit,
+		ModelConcurrency: *modelConcurrency,
+		Metrics:          mc,
+	}
+	resolve := serve.DefaultResolver(*csvDir)
+	reg, err := serve.LoadDir(ctx, *modelsDir, resolve, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
@@ -77,10 +94,46 @@ func main() {
 			name, art.Target, strings.Join(art.TargetAttrs, ","), m.Definition().Len(), len(art.BuildLog), note)
 	}
 
+	// reload is shared by SIGHUP and POST /admin/reload; the mutex keeps
+	// concurrent triggers from binding the same artifact twice.
+	var reloadMu sync.Mutex
+	reload := func(ctx context.Context) (*serve.ReloadReport, error) {
+		reloadMu.Lock()
+		defer reloadMu.Unlock()
+		rep, err := serve.ReloadDir(ctx, reg, *modelsDir, resolve, opts)
+		if err != nil {
+			return nil, err
+		}
+		for name, msg := range rep.Failed {
+			fmt.Fprintf(os.Stderr, "serve: reload %s: %s (previous version keeps serving)\n", name, msg)
+		}
+		fmt.Printf("serve: reload: %d swapped, %d added, %d unchanged, %d failed\n",
+			len(rep.Swapped), len(rep.Added), len(rep.Unchanged), len(rep.Failed))
+		return rep, nil
+	}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				if _, err := reload(ctx); err != nil {
+					fmt.Fprintln(os.Stderr, "serve: reload:", err)
+				}
+			}
+		}
+	}()
+
 	srv := serve.NewServer(reg, serve.ServerOptions{
 		MaxConcurrent:  *maxConcurrent,
+		MaxBatch:       *maxBatch,
 		RequestTimeout: *requestTimeout,
 		DrainTimeout:   *drainTimeout,
+		Reload:         reload,
 		Metrics:        mc,
 	})
 	fmt.Printf("serving %d model(s) on %s\n", reg.Len(), *addr)

@@ -79,7 +79,7 @@ type CoverageEngine struct {
 	// never wait on a BC under construction.
 	mu      sync.RWMutex
 	buildMu sync.Mutex
-	cache   map[string]*groundEntry
+	cache   map[string]*GroundEntry
 	// results memoizes Covers outcomes by clause identity. Clauses are
 	// immutable once built by the learner, so pointer identity is a safe
 	// and allocation-free key. Isolated failures memoize false, which is
@@ -89,7 +89,7 @@ type CoverageEngine struct {
 	// fallback, so the example key is hashed once per example rather
 	// than on every miss.
 	seeds map[string]int64
-	// pinned marks cache entries that must survive EvictUnpinned: BCs
+	// pinned marks cache entries that must never be dropped: BCs
 	// restored by a model replay (internal/serve) are order-dependent
 	// products of the shared builder's RNG sequence and cannot be
 	// rebuilt on demand, unlike pooled derived-seed BCs. Nil until
@@ -135,21 +135,45 @@ func NewCoverage(builder *bottom.Builder, subOpts subsume.Options) *CoverageEngi
 		subOpts: subOpts,
 		workers: 1,
 		in:      in,
-		cache:   make(map[string]*groundEntry),
+		cache:   make(map[string]*GroundEntry),
 		results: make(map[*logic.Clause]map[string]bool),
 		seeds:   make(map[string]int64),
 	}
 }
 
-// groundEntry pairs a cached ground BC with its compiled subsumption
+// GroundEntry pairs a cached ground BC with its compiled subsumption
 // index. The compiled form is a pure function of the BC (see
 // subsume.CompileGround), and the two are stored together under one
 // lock, so "BC cached ⇒ index cached" holds everywhere and parallelism
-// cannot perturb either.
-type groundEntry struct {
-	bc *logic.Clause
-	cg *subsume.CompiledGround
+// cannot perturb either. Entries are immutable once built and safe to
+// share across goroutines; the serving layer (internal/serve) holds
+// them in its own size-aware cache, charged at SizeBytes.
+type GroundEntry struct {
+	bc   *logic.Clause
+	cg   *subsume.CompiledGround
+	size int64
 }
+
+func newGroundEntry(bc *logic.Clause, cg *subsume.CompiledGround) *GroundEntry {
+	return &GroundEntry{bc: bc, cg: cg, size: bc.SizeBytes() + cg.SizeBytes()}
+}
+
+// NewGroundEntry wraps an externally built (bottom clause, compiled
+// ground) pair as an entry, for callers that manage their own storage —
+// notably the serving layer's cache tests.
+func NewGroundEntry(bc *logic.Clause, cg *subsume.CompiledGround) *GroundEntry {
+	return newGroundEntry(bc, cg)
+}
+
+// BC returns the entry's ground bottom clause.
+func (g *GroundEntry) BC() *logic.Clause { return g.bc }
+
+// Compiled returns the entry's compiled subsumption index.
+func (g *GroundEntry) Compiled() *subsume.CompiledGround { return g.cg }
+
+// SizeBytes is the entry's estimated heap footprint (BC plus compiled
+// index), the cost serving caches charge against their byte budgets.
+func (g *GroundEntry) SizeBytes() int64 { return g.size }
 
 // SetWorkers bounds the coverage worker pool; n <= 0 selects
 // runtime.GOMAXPROCS(0). At 1 worker the engine runs the exact
@@ -180,10 +204,11 @@ func (ce *CoverageEngine) SubsumeOptions() subsume.Options { return ce.subOpts }
 func (ce *CoverageEngine) Interner() *logic.Interner { return ce.in }
 
 // PinCached marks every currently cached ground BC as pinned and returns
-// how many entries were pinned. Pinned entries survive EvictUnpinned:
-// the serving engine pins the BCs restored by a training replay, whose
-// contents depend on the shared builder's RNG order and could not be
-// rebuilt identically on demand.
+// how many entries were pinned. The serving engine pins the BCs restored
+// by a training replay — their contents depend on the shared builder's
+// RNG order and could not be rebuilt identically on demand — and reads
+// them back through PinnedEntry; everything else it builds via
+// BuildPooledEntry and bounds in its own byte-budgeted cache.
 func (ce *CoverageEngine) PinCached() int {
 	ce.mu.Lock()
 	defer ce.mu.Unlock()
@@ -202,38 +227,6 @@ func (ce *CoverageEngine) CachedBCs() int {
 	n := len(ce.cache)
 	ce.mu.RUnlock()
 	return n
-}
-
-// EvictUnpinned bounds the engine's memory for long-running serving: when
-// more than limit unpinned ground BCs are cached, it drops all of them
-// (with their derived seeds) and clears the verdict memo, returning the
-// number of BCs evicted. Eviction never changes verdicts — pinned BCs
-// stay, evicted ones were built on per-example derived-seed clones and
-// rebuild identically on the next miss, and re-running a subsumption test
-// over the same BC is pure (see the subsume concurrency contract).
-func (ce *CoverageEngine) EvictUnpinned(limit int) int {
-	if limit < 0 {
-		limit = 0
-	}
-	ce.mu.Lock()
-	defer ce.mu.Unlock()
-	unpinned := len(ce.cache) - len(ce.pinned)
-	if unpinned <= limit {
-		return 0
-	}
-	evicted := 0
-	for k := range ce.cache {
-		if ce.pinned[k] {
-			continue
-		}
-		delete(ce.cache, k)
-		delete(ce.seeds, k)
-		evicted++
-	}
-	// The memo may reference evicted examples; recomputation is pure, so
-	// dropping it wholesale is simpler than per-example bookkeeping.
-	ce.results = make(map[*logic.Clause]map[string]bool)
-	return evicted
 }
 
 // SetMetrics directs the engine's instrumentation to mc; nil disables
@@ -297,7 +290,7 @@ func (ce *CoverageEngine) GroundBCCtx(ctx context.Context, e Example) (*logic.Cl
 // example, building and compiling under buildMu on a miss — the
 // sequential prefetch pass funnels through here, so intern-table growth
 // and compilation order match the sequential engine exactly.
-func (ce *CoverageEngine) groundEntryCtx(ctx context.Context, key string, e Example) (ent *groundEntry, err error) {
+func (ce *CoverageEngine) groundEntryCtx(ctx context.Context, key string, e Example) (ent *GroundEntry, err error) {
 	if ent, ok := ce.cachedEntry(key); ok {
 		ce.mc.Inc(metrics.CoverageBCCacheHits)
 		return ent, nil
@@ -317,7 +310,7 @@ func (ce *CoverageEngine) groundEntryCtx(ctx context.Context, key string, e Exam
 		}
 		return nil, fmt.Errorf("learn: ground BC for %v: %w", e, err)
 	}
-	ent = &groundEntry{bc: g, cg: subsume.CompileGround(ce.in, g)}
+	ent = newGroundEntry(g, subsume.CompileGround(ce.in, g))
 	ce.mu.Lock()
 	ce.cache[key] = ent
 	ce.mu.Unlock()
@@ -332,7 +325,7 @@ func (ce *CoverageEngine) groundEntryCtx(ctx context.Context, key string, e Exam
 // there first. (Count prefetches, so this miss path only fires for
 // concurrent external Covers callers — or when the prefetch itself was
 // isolated.)
-func (ce *CoverageEngine) groundEntryPooled(ctx context.Context, key string, e Example) (ent *groundEntry, err error) {
+func (ce *CoverageEngine) groundEntryPooled(ctx context.Context, key string, e Example) (ent *GroundEntry, err error) {
 	if ent, ok := ce.cachedEntry(key); ok {
 		ce.mc.Inc(metrics.CoverageBCCacheHits)
 		return ent, nil
@@ -346,7 +339,7 @@ func (ce *CoverageEngine) groundEntryPooled(ctx context.Context, key string, e E
 		}
 		return nil, fmt.Errorf("learn: ground BC for %v: %w", e, err)
 	}
-	built := &groundEntry{bc: g, cg: subsume.CompileGround(ce.in, g)}
+	built := newGroundEntry(g, subsume.CompileGround(ce.in, g))
 	ce.mu.Lock()
 	// First build wins, so every caller sees one canonical entry.
 	if prev, ok := ce.cache[key]; ok {
@@ -362,11 +355,104 @@ func (ce *CoverageEngine) groundEntryPooled(ctx context.Context, key string, e E
 	return ent, nil
 }
 
-func (ce *CoverageEngine) cachedEntry(key string) (*groundEntry, bool) {
+func (ce *CoverageEngine) cachedEntry(key string) (*GroundEntry, bool) {
 	ce.mu.RLock()
 	ent, ok := ce.cache[key]
 	ce.mu.RUnlock()
 	return ent, ok
+}
+
+// BuildPooledEntry constructs the example's ground BC on a builder clone
+// seeded from the example key and compiles its subsumption index,
+// WITHOUT entering it into the engine cache. The result is a pure
+// function of (engine configuration, example) — independent of request
+// order, concurrency, and process restarts — which is what lets an
+// external cache (internal/serve's size-aware LRU) evict and rebuild
+// entries freely without ever changing a verdict. The per-example seed
+// is derived directly (not memoized in ce.seeds) so unbounded serving
+// traffic cannot grow engine state.
+func (ce *CoverageEngine) BuildPooledEntry(ctx context.Context, e Example) (ent *GroundEntry, err error) {
+	defer recoverToErr(&err)
+	key := e.String()
+	b := ce.builder.CloneSeeded(deriveSeed(ce.subOpts.Seed, key))
+	g, err := b.ConstructGroundCtx(ctx, e)
+	if err != nil {
+		if isCtxErr(err) {
+			ce.recordEvent(report.Event{Kind: report.BottomAbandoned, Site: "bottom.construct", Example: key})
+		}
+		return nil, fmt.Errorf("learn: ground BC for %v: %w", e, err)
+	}
+	return newGroundEntry(g, subsume.CompileGround(ce.in, g)), nil
+}
+
+// PinnedEntry returns the pinned cache entry for the example key, if
+// any. Pinned entries are the BCs a model replay restored (see
+// PinCached): order-dependent products of the shared builder's RNG that
+// cannot be rebuilt on demand, so the serving layer consults them before
+// its own evictable cache.
+func (ce *CoverageEngine) PinnedEntry(key string) (*GroundEntry, bool) {
+	ce.mu.RLock()
+	defer ce.mu.RUnlock()
+	if !ce.pinned[key] {
+		return nil, false
+	}
+	ent, ok := ce.cache[key]
+	return ent, ok
+}
+
+// CheckEntryCtx tests whether the clause θ-subsumes the entry's ground
+// BC, through the compiled index — the compile-once-check-many hot
+// path. A panic inside the test is isolated to the (clause, entry) pair
+// and deterministically answers "not covered", matching the covers()
+// contract; an exhausted node budget answers sound-negative and records
+// a degradation event.
+func (ce *CoverageEngine) CheckEntryCtx(ctx context.Context, c *logic.Clause, ent *GroundEntry) (bool, error) {
+	v, complete, err := func() (v, complete bool, err error) {
+		defer recoverToErr(&err)
+		ce.tests.Add(1)
+		ce.mc.Inc(metrics.CoverageTests)
+		ce.mc.Inc(metrics.CoverageCGHits)
+		res := subsume.CheckCompiledCtx(ctx, c, ent.cg, ce.subOpts)
+		if res.Cancelled {
+			if cerr := ctx.Err(); cerr != nil {
+				return false, false, cerr
+			}
+			return false, false, nil
+		}
+		return res.Subsumes, res.Complete, nil
+	}()
+	if err != nil {
+		var pe *panicErr
+		if errors.As(err, &pe) {
+			ce.recordEvent(report.Event{
+				Kind:   report.PanicRecovered,
+				Site:   "coverage.test",
+				Detail: pe.Error(),
+			})
+			return false, nil
+		}
+		return false, err
+	}
+	if !complete {
+		ce.recordEvent(report.Event{Kind: report.SubsumeBudget, Site: "subsume.check"})
+	}
+	return v, nil
+}
+
+// CheckDefinitionEntryCtx reports whether any clause of the definition
+// subsumes the entry's ground BC, in clause order with early exit —
+// the same semantics as DefinitionCovers over the same BC.
+func (ce *CoverageEngine) CheckDefinitionEntryCtx(ctx context.Context, d *logic.Definition, ent *GroundEntry) (bool, error) {
+	for _, c := range d.Clauses {
+		ok, err := ce.CheckEntryCtx(ctx, c, ent)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // seedFor returns the example's clone seed, deriving it once per
@@ -495,7 +581,7 @@ func (ce *CoverageEngine) covers(ctx context.Context, c *logic.Clause, e Example
 // per-test cost is compiling the candidate clause and searching.
 func (ce *CoverageEngine) testCovers(ctx context.Context, c *logic.Clause, e Example, key string, pooled bool) (v, complete bool, err error) {
 	defer recoverToErr(&err)
-	var ent *groundEntry
+	var ent *GroundEntry
 	if pooled {
 		ent, err = ce.groundEntryPooled(ctx, key, e)
 	} else {

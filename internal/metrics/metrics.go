@@ -133,12 +133,46 @@ const (
 	// ServeErrors counts predict requests that failed (bad input, unknown
 	// model, timeout). Gauge.
 	ServeErrors
-	// ServeBCEvictions counts ground BCs evicted from serving engines'
-	// caches by the cache bound. Gauge.
+	// ServeBCEvictions counts ground-BC cache entries evicted from serving
+	// models' size-aware LRUs under their byte budgets. Gauge.
 	ServeBCEvictions
 	// ServeModelsLoaded counts model artifacts loaded into the serving
 	// registry. Deterministic: a pure function of the models directory.
 	ServeModelsLoaded
+	// ServeCacheHits counts serving BC-cache lookups answered from a
+	// model's admission cache (pinned replay entries included). Gauge.
+	ServeCacheHits
+	// ServeCacheMisses counts serving BC-cache lookups that had to build
+	// the entry. Gauge.
+	ServeCacheMisses
+	// ServeCacheAdmits counts built entries admitted into a serving
+	// model's size-aware LRU. Gauge.
+	ServeCacheAdmits
+	// ServeCacheRejects counts built entries the admission policy kept out
+	// (first sighting in the doorkeeper, or larger than the budget allows).
+	// Gauge.
+	ServeCacheRejects
+	// ServeMemoHits counts predictions answered from a model's verdict
+	// memo without touching the engine. Gauge.
+	ServeMemoHits
+	// ServeSingleflightShared counts concurrent requests that waited on
+	// another request's in-flight build of the same entry instead of
+	// building their own. Gauge.
+	ServeSingleflightShared
+	// ServeLoadShed counts predict requests shed because a model's
+	// concurrency budget was exhausted. Gauge.
+	ServeLoadShed
+	// ServeModelSwaps counts versioned model swaps (hot reloads included).
+	// Gauge.
+	ServeModelSwaps
+	// ServeReloads counts reload sweeps over the models directory. Gauge.
+	ServeReloads
+	// ServeShadowChecks counts predictions replayed against a shadow model
+	// version for comparison. Gauge.
+	ServeShadowChecks
+	// ServeShadowMismatches counts shadow-compared predictions whose
+	// shadow verdict differed from the primary's. Gauge.
+	ServeShadowMismatches
 
 	numCounters
 )
@@ -191,6 +225,17 @@ var counterDefs = [numCounters]counterDef{
 	ServeErrors:               {"serve.request_errors", false, kindSum},
 	ServeBCEvictions:          {"serve.bc_evictions", false, kindSum},
 	ServeModelsLoaded:         {"serve.models_loaded", true, kindSum},
+	ServeCacheHits:            {"serve.cache_hits", false, kindSum},
+	ServeCacheMisses:          {"serve.cache_misses", false, kindSum},
+	ServeCacheAdmits:          {"serve.cache_admits", false, kindSum},
+	ServeCacheRejects:         {"serve.cache_rejects", false, kindSum},
+	ServeMemoHits:             {"serve.memo_hits", false, kindSum},
+	ServeSingleflightShared:   {"serve.singleflight_shared", false, kindSum},
+	ServeLoadShed:             {"serve.load_shed", false, kindSum},
+	ServeModelSwaps:           {"serve.model_swaps", false, kindSum},
+	ServeReloads:              {"serve.reloads", false, kindSum},
+	ServeShadowChecks:         {"serve.shadow_checks", false, kindSum},
+	ServeShadowMismatches:     {"serve.shadow_mismatches", false, kindSum},
 }
 
 // HistID identifies one histogram.
@@ -292,9 +337,13 @@ type Collector struct {
 	spans    [numSpans]spanState
 
 	// workerBusy tracks cumulative busy time per coverage-pool worker
-	// index; grown under mu, summed into the snapshot as gauges.
+	// index; grown under mu, summed into the snapshot as gauges. named
+	// holds dynamically-keyed gauges (per-model serving occupancy,
+	// versions) that cannot be enumerated at compile time; both are
+	// reported under Snapshot.Gauges.
 	mu         sync.Mutex
 	workerBusy []int64
+	named      map[string]int64
 }
 
 // New returns an enabled, empty collector.
@@ -399,6 +448,45 @@ func (c *Collector) WorkerBusy(worker int, d time.Duration) {
 	c.mu.Unlock()
 }
 
+// SetNamedGauge sets a dynamically-named gauge (e.g. one serving model's
+// cache occupancy in bytes). Named gauges are scheduling- and
+// traffic-dependent by nature and are reported under Snapshot.Gauges.
+func (c *Collector) SetNamedGauge(name string, v int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.named == nil {
+		c.named = make(map[string]int64)
+	}
+	c.named[name] = v
+	c.mu.Unlock()
+}
+
+// AddNamedGauge adds delta to a dynamically-named gauge.
+func (c *Collector) AddNamedGauge(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.named == nil {
+		c.named = make(map[string]int64)
+	}
+	c.named[name] += delta
+	c.mu.Unlock()
+}
+
+// NamedGauge returns a named gauge's current value (0 when absent or
+// disabled).
+func (c *Collector) NamedGauge(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.named[name]
+}
+
 // HistogramSnapshot is one histogram's state at snapshot time. Counts
 // has one entry per bound plus a final overflow bucket.
 type HistogramSnapshot struct {
@@ -472,6 +560,9 @@ func (c *Collector) Snapshot() Snapshot {
 	c.mu.Lock()
 	for w, busy := range c.workerBusy {
 		s.Gauges[fmt.Sprintf("coverage.worker_busy_ns.%d", w)] = busy
+	}
+	for name, v := range c.named {
+		s.Gauges[name] = v
 	}
 	c.mu.Unlock()
 	return s

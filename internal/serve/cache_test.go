@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/learn"
+	"repro/internal/logic"
+	"repro/internal/metrics"
+	"repro/internal/subsume"
+)
+
+// fakeEntry builds a GroundEntry of a roughly controllable size for
+// cache-policy tests (entry sizes are estimates, not exact bytes).
+func fakeEntry(t testing.TB, key string, bodyLits int) *learn.GroundEntry {
+	t.Helper()
+	head := logic.NewLiteral("gp", logic.Const("a"), logic.Const("b"))
+	body := make([]logic.Literal, bodyLits)
+	for i := range body {
+		body[i] = logic.NewLiteral("parent", logic.Const(fmt.Sprintf("%s_%d", key, i)), logic.Const("x"))
+	}
+	bc := logic.NewClause(head, body...)
+	return learn.NewGroundEntry(bc, subsume.CompileGround(nil, bc))
+}
+
+// admitTwice drives a key through the doorkeeper (admission happens on
+// the second sighting) by building it twice without a cache hit between.
+func admitTwice(t *testing.T, c *entryCache, key string, ent *learn.GroundEntry) {
+	t.Helper()
+	build := func() (*learn.GroundEntry, error) { return ent, nil }
+	for i := 0; i < 2; i++ {
+		if _, ok := c.peek(key); ok {
+			return
+		}
+		if _, err := c.get(context.Background(), key, build); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// peek reports whether key is resident without touching recency.
+func (c *entryCache) peek(key string) (*learn.GroundEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return n.ent, true
+}
+
+func TestEntryCacheDoorkeeperAdmission(t *testing.T) {
+	mc := metrics.New()
+	c := newEntryCache(1<<20, mc, "serve.model.test")
+	ent := fakeEntry(t, "k1", 4)
+	build := func() (*learn.GroundEntry, error) { return ent, nil }
+
+	// First build: seen once, NOT admitted (doorkeeper).
+	if _, err := c.get(context.Background(), "k1", build); err != nil {
+		t.Fatal(err)
+	}
+	if c.len() != 0 {
+		t.Fatalf("admitted on first sighting: %d entries", c.len())
+	}
+	if got := mc.Counter(metrics.ServeCacheRejects); got != 1 {
+		t.Fatalf("rejects = %d, want 1", got)
+	}
+	// Second build of the same key: proven reuse, admitted.
+	if _, err := c.get(context.Background(), "k1", build); err != nil {
+		t.Fatal(err)
+	}
+	if c.len() != 1 || c.bytes() <= 0 {
+		t.Fatalf("not admitted on second sighting: %d entries, %d bytes", c.len(), c.bytes())
+	}
+	// Third get: a hit, no build.
+	calls := 0
+	if _, err := c.get(context.Background(), "k1", func() (*learn.GroundEntry, error) {
+		calls++
+		return ent, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatal("cache hit still called build")
+	}
+	if got := mc.Counter(metrics.ServeCacheHits); got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+}
+
+func TestEntryCacheEvictsLRUUnderBudget(t *testing.T) {
+	mc := metrics.New()
+	ent := fakeEntry(t, "a", 4)
+	cost := ent.SizeBytes() + 1 + 64 // one-char keys
+	// Budget fits exactly two entries of this shape.
+	c := newEntryCache(2*cost+1, mc, "serve.model.test")
+
+	admitTwice(t, c, "a", fakeEntry(t, "a", 4))
+	admitTwice(t, c, "b", fakeEntry(t, "b", 4))
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.len())
+	}
+	// Touch "a" so "b" is the LRU victim, then admit "c".
+	if _, err := c.get(context.Background(), "a", nil); err != nil {
+		t.Fatal(err)
+	}
+	admitTwice(t, c, "c", fakeEntry(t, "c", 4))
+	if _, ok := c.peek("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.peek("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if c.bytes() > 2*cost+1 {
+		t.Fatalf("cache over budget: %d > %d", c.bytes(), 2*cost+1)
+	}
+	if mc.Counter(metrics.ServeBCEvictions) == 0 {
+		t.Fatal("no eviction counted")
+	}
+}
+
+func TestEntryCacheRejectsOversizeEntry(t *testing.T) {
+	mc := metrics.New()
+	c := newEntryCache(64, mc, "serve.model.test") // tiny budget
+	admitTwice(t, c, "huge", fakeEntry(t, "huge", 50))
+	if c.len() != 0 {
+		t.Fatal("entry larger than the whole budget was admitted")
+	}
+	if mc.Counter(metrics.ServeCacheRejects) == 0 {
+		t.Fatal("oversize admission not counted as reject")
+	}
+}
+
+func TestEntryCacheSingleflightCollapsesBuilds(t *testing.T) {
+	mc := metrics.New()
+	c := newEntryCache(1<<20, mc, "serve.model.test")
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	build := func() (*learn.GroundEntry, error) {
+		builds.Add(1)
+		close(started)
+		<-gate
+		return fakeEntry(t, "k", 4), nil
+	}
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := c.get(context.Background(), "k", build)
+		leaderDone <- err
+	}()
+	<-started // the leader's flight is registered and its build is running
+
+	const waiters = 7
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.get(context.Background(), "k", build)
+		}(i)
+	}
+	// Every waiter increments the shared counter before blocking on the
+	// flight; once all have, releasing the gate can't race a late miss.
+	for mc.Counter(metrics.ServeSingleflightShared) < waiters {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("%d builds for one key under concurrency, want 1", n)
+	}
+}
+
+func TestEntryCacheWaiterSurvivesLeaderCancellation(t *testing.T) {
+	mc := metrics.New()
+	c := newEntryCache(1<<20, mc, "serve.model.test")
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	build := func() (*learn.GroundEntry, error) {
+		once.Do(func() { close(started) })
+		<-leaderCtx.Done()
+		return nil, leaderCtx.Err()
+	}
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := c.get(leaderCtx, "k", build)
+		leaderDone <- err
+	}()
+	<-started
+	// The waiter has its own live context and a build that succeeds.
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := c.get(context.Background(), "k", func() (*learn.GroundEntry, error) {
+			return fakeEntry(t, "k", 4), nil
+		})
+		waiterDone <- err
+	}()
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error %v, want Canceled", err)
+	}
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter inherited the leader's cancellation: %v", err)
+	}
+}
+
+func TestVerdictMemoRotationAndPromotion(t *testing.T) {
+	vm := newVerdictMemo(2)
+	vm.put("a", true)
+	vm.put("b", false)
+	// cur is full; the next put rotates it to prev.
+	vm.put("c", true)
+	if v, ok := vm.get("a"); !ok || !v {
+		t.Fatalf("a lost after rotation: %v %v", v, ok)
+	}
+	// The get promoted "a" into cur; another rotation must keep it.
+	vm.put("d", true)
+	vm.put("e", true)
+	if _, ok := vm.get("a"); !ok {
+		t.Fatal("promoted entry a dropped by later rotation")
+	}
+	if vm.size() > 4 {
+		t.Fatalf("memo holds %d entries, cap is 2 per generation", vm.size())
+	}
+}
+
+func TestABHashIsDeterministicAndBounded(t *testing.T) {
+	buckets := make(map[int]int)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("gp(p%03d,p%03d)", i, i+2)
+		h := abHash(key)
+		if h < 0 || h >= 100 {
+			t.Fatalf("abHash(%q) = %d out of range", key, h)
+		}
+		if h != abHash(key) {
+			t.Fatalf("abHash(%q) not deterministic", key)
+		}
+		buckets[h]++
+	}
+	// Sanity: a 50% split lands somewhere near half on 1000 keys.
+	below := 0
+	for h, n := range buckets {
+		if h < 50 {
+			below += n
+		}
+	}
+	if below < 350 || below > 650 {
+		t.Fatalf("50%% split routed %d/1000 keys", below)
+	}
+}

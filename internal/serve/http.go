@@ -15,15 +15,23 @@ import (
 
 // ServerOptions configures the HTTP layer.
 type ServerOptions struct {
-	// MaxConcurrent bounds in-flight predict requests; <=0 selects 64.
-	// Excess requests queue on the semaphore and respect their context.
+	// MaxConcurrent bounds in-flight predict requests across all models;
+	// <=0 selects 64. Excess requests queue on the semaphore and respect
+	// their context. (Per-model budgets — Options.ModelConcurrency — shed
+	// instead of queueing; this global bound protects the process.)
 	MaxConcurrent int
+	// MaxBatch bounds examples per predict request; <=0 selects 4096.
+	// Larger batches are rejected with 413 before any work is done.
+	MaxBatch int
 	// RequestTimeout bounds one predict request end to end; <=0 selects
 	// 30s. The deadline threads through the engine, so a slow
 	// subsumption search is interrupted mid-test, not at a boundary.
 	RequestTimeout time.Duration
 	// DrainTimeout bounds graceful shutdown; <=0 selects 10s.
 	DrainTimeout time.Duration
+	// Reload, when non-nil, backs POST /admin/reload (typically a closure
+	// over ReloadDir). Absent, the endpoint answers 501.
+	Reload func(ctx context.Context) (*ReloadReport, error)
 	// Metrics, when non-nil, backs the /metrics endpoint and receives
 	// request counters.
 	Metrics *metrics.Collector
@@ -32,6 +40,9 @@ type ServerOptions struct {
 func (o ServerOptions) normalized() ServerOptions {
 	if o.MaxConcurrent <= 0 {
 		o.MaxConcurrent = 64
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 4096
 	}
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 30 * time.Second
@@ -51,9 +62,9 @@ type Server struct {
 }
 
 // NewServer wires the registry's handlers onto one mux: health, model
-// listing and inspection, prediction, a JSON metrics snapshot, and the
-// standard pprof endpoints (same mux, same port — one process, one
-// observability surface).
+// listing and inspection, prediction, hot reload, a JSON metrics
+// snapshot, and the standard pprof endpoints (same mux, same port — one
+// process, one observability surface).
 func NewServer(reg *Registry, opts ServerOptions) *Server {
 	opts = opts.normalized()
 	s := &Server{
@@ -67,6 +78,7 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("GET /v1/models/{name}", s.handleModel)
 	s.mux.HandleFunc("POST /v1/models/{name}/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /admin/reload", s.handleReload)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -111,8 +123,29 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	return s.Serve(ctx, ln)
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
+// Error codes carried in structured error bodies. Stable strings:
+// clients branch on these, not on the human-readable message.
+const (
+	ErrCodeBadRequest    = "bad_request"
+	ErrCodeModelNotFound = "model_not_found"
+	ErrCodeBatchTooLarge = "batch_too_large"
+	ErrCodeOverloaded    = "overloaded"
+	ErrCodeTimeout       = "timeout"
+	ErrCodeCancelled     = "cancelled"
+	ErrCodeInternal      = "internal"
+	ErrCodeReload        = "reload_failed"
+	ErrCodeUnsupported   = "unsupported"
+)
+
+// errorBody is the structured error envelope:
+// {"error":{"code":"overloaded","message":"..."}}.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
@@ -121,9 +154,14 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+// fail writes a structured error. Load-shedding statuses (503) carry
+// Retry-After so well-behaved clients back off instead of hammering.
+func (s *Server) fail(w http.ResponseWriter, status int, code string, err error) {
 	s.opts.Metrics.Inc(metrics.ServeErrors)
-	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	s.writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: err.Error()}})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -137,22 +175,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // modelInfo is the public description of one bound model.
 type modelInfo struct {
 	Name        string   `json:"name"`
+	Version     int      `json:"version"`
 	Target      string   `json:"target"`
 	TargetAttrs []string `json:"target_attrs"`
 	Clauses     int      `json:"clauses"`
 	Theory      string   `json:"theory,omitempty"`
 	Degraded    bool     `json:"degraded,omitempty"`
 	CachedBCs   int      `json:"cached_bcs"`
+	CacheBytes  int64    `json:"cache_bytes"`
+	InFlight    int      `json:"in_flight"`
 }
 
 func (s *Server) info(m *Model, full bool) modelInfo {
 	info := modelInfo{
 		Name:        m.Name(),
+		Version:     m.Version(),
 		Target:      m.art.Target,
 		TargetAttrs: m.art.TargetAttrs,
 		Clauses:     m.def.Len(),
 		Degraded:    m.art.Degraded,
 		CachedBCs:   m.CachedBCs(),
+		CacheBytes:  m.CacheBytesUsed(),
+		InFlight:    m.InFlight(),
 	}
 	if full {
 		info.Theory = m.art.Theory
@@ -172,10 +216,26 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	m, ok := s.reg.Get(r.PathValue("name"))
 	if !ok {
-		s.fail(w, http.StatusNotFound, fmt.Errorf("no such model %q", r.PathValue("name")))
+		s.fail(w, http.StatusNotFound, ErrCodeModelNotFound, fmt.Errorf("no such model %q", r.PathValue("name")))
 		return
 	}
 	s.writeJSON(w, http.StatusOK, s.info(m, true))
+}
+
+// handleReload triggers a hot model reload (ReloadDir via the
+// configured hook) and reports what changed. Serving never pauses:
+// swapped models drain their old versions in the background.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Reload == nil {
+		s.fail(w, http.StatusNotImplemented, ErrCodeUnsupported, errors.New("no reload hook configured"))
+		return
+	}
+	rep, err := s.opts.Reload(r.Context())
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, ErrCodeReload, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rep)
 }
 
 // predictRequest carries one batch: tuples as attribute-value lists
@@ -189,6 +249,9 @@ type predictRequest struct {
 type prediction struct {
 	Input   string `json:"input"`
 	Covered bool   `json:"covered"`
+	// Version is the model version that served this example (A/B splits
+	// can mix versions within one batch).
+	Version int `json:"version"`
 }
 
 type predictResponse struct {
@@ -198,23 +261,30 @@ type predictResponse struct {
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.opts.Metrics.Inc(metrics.ServeRequests)
-	m, ok := s.reg.Get(r.PathValue("name"))
+	name := r.PathValue("name")
+	m, release, ok := s.reg.Acquire(name)
 	if !ok {
-		s.fail(w, http.StatusNotFound, fmt.Errorf("no such model %q", r.PathValue("name")))
+		s.fail(w, http.StatusNotFound, ErrCodeModelNotFound, fmt.Errorf("no such model %q", name))
 		return
 	}
 	var req predictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return
+	err := json.NewDecoder(r.Body).Decode(&req)
+	var examples []Example
+	if err == nil {
+		if len(req.Tuples)+len(req.Examples) == 0 {
+			err = errors.New("empty request: provide tuples and/or examples")
+		} else if n := len(req.Tuples) + len(req.Examples); n > s.opts.MaxBatch {
+			release()
+			s.fail(w, http.StatusRequestEntityTooLarge, ErrCodeBatchTooLarge,
+				fmt.Errorf("batch of %d examples exceeds the limit of %d; split the request", n, s.opts.MaxBatch))
+			return
+		} else {
+			examples, err = m.decodeBatch(req)
+		}
 	}
-	if len(req.Tuples)+len(req.Examples) == 0 {
-		s.fail(w, http.StatusBadRequest, errors.New("empty request: provide tuples and/or examples"))
-		return
-	}
-	examples, err := m.decodeBatch(req)
+	release()
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, http.StatusBadRequest, ErrCodeBadRequest, err)
 		return
 	}
 
@@ -227,25 +297,29 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
-		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("server at capacity: %w", ctx.Err()))
+		s.fail(w, http.StatusServiceUnavailable, ErrCodeOverloaded, fmt.Errorf("server at capacity: %w", ctx.Err()))
 		return
 	}
 
-	verdicts, err := m.PredictBatch(ctx, examples)
+	verdicts, versions, err := s.reg.Predict(ctx, name, examples)
 	if err != nil {
-		status := http.StatusInternalServerError
+		status, code := http.StatusInternalServerError, ErrCodeInternal
 		switch {
+		case errors.Is(err, ErrNoModel):
+			status, code = http.StatusNotFound, ErrCodeModelNotFound
+		case errors.Is(err, ErrOverloaded):
+			status, code = http.StatusServiceUnavailable, ErrCodeOverloaded
 		case errors.Is(err, context.DeadlineExceeded):
-			status = http.StatusGatewayTimeout
+			status, code = http.StatusGatewayTimeout, ErrCodeTimeout
 		case errors.Is(err, context.Canceled):
-			status = http.StatusServiceUnavailable
+			status, code = http.StatusServiceUnavailable, ErrCodeCancelled
 		}
-		s.fail(w, status, err)
+		s.fail(w, status, code, err)
 		return
 	}
-	resp := predictResponse{Model: m.Name(), Predictions: make([]prediction, len(examples))}
+	resp := predictResponse{Model: name, Predictions: make([]prediction, len(examples))}
 	for i, e := range examples {
-		resp.Predictions[i] = prediction{Input: e.String(), Covered: verdicts[i]}
+		resp.Predictions[i] = prediction{Input: e.String(), Covered: verdicts[i], Version: versions[i]}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -14,21 +14,36 @@
 // compiled once (subsume.CompileGround), so steady-state prediction is
 // CheckCompiled against a warm index — the 0-alloc path.
 //
-// Fresh examples (never seen in training) miss the pinned cache and are
-// built on per-example derived-seed builder clones: their verdicts are a
-// pure function of (model, example), invariant under request order,
-// concurrency, and process restarts. Their BCs are evictable
-// (Options.CacheLimit) because an identical rebuild is always one miss
-// away.
+// Fresh examples (never seen in training) are built on per-example
+// derived-seed builder clones: their verdicts are a pure function of
+// (model, example), invariant under request order, concurrency, and
+// process restarts. Their entries live in a size-aware,
+// admission-controlled LRU (Options.CacheBytes) with singleflight
+// builds, and definition-level verdicts are memoized per example; both
+// layers only redistribute cost — purity means eviction and
+// memoization can never change an answer (see cache.go and the
+// differential suite).
+//
+// Multi-model tenancy: a Registry holds one tenant per model name, each
+// with a versioned current Model swapped atomically (Swap). In-flight
+// requests hold a reference to the version they resolved; a replaced
+// version serves them to completion and then drains (Retire/Drain) —
+// zero-downtime rollout. Tenants can shadow traffic against another
+// bound version (compare verdicts, count mismatches) or A/B-split it
+// deterministically by example hash, and each model carries its own
+// concurrency budget so one hot model cannot starve the rest.
 package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bottom"
 	"repro/internal/datagen"
@@ -46,37 +61,88 @@ type Example = logic.Literal
 // "advisedby(person_0001,person_0002)".
 func parseGround(s string) (Example, error) { return model.ParseExample(s) }
 
+// ErrNoModel reports a predict against a name the registry does not
+// hold.
+var ErrNoModel = errors.New("serve: no such model")
+
+// ErrOverloaded reports a predict shed because the model's concurrency
+// budget was exhausted. HTTP maps it to 503 with Retry-After.
+var ErrOverloaded = errors.New("serve: model concurrency budget exhausted")
+
+// isCtxErr reports whether err is a context cancellation or deadline,
+// possibly wrapped.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Options configures model binding.
 type Options struct {
 	// Workers bounds per-request coverage parallelism; <=0 selects
-	// GOMAXPROCS (the engine's convention).
+	// GOMAXPROCS (the engine's convention). Batch fan-out is additionally
+	// clamped to min(Workers, GOMAXPROCS, batch size) so oversubscription
+	// never costs throughput.
 	Workers int
-	// CacheLimit bounds the number of unpinned ground BCs kept per model
-	// before a post-request eviction sweep; <=0 selects 65536. Pinned
-	// (replayed) BCs never count against it.
-	CacheLimit int
+	// CacheBytes is the model's byte budget for fresh-example ground-BC
+	// entries (bottom clause + compiled subsumption index, charged at
+	// their estimated heap footprint); <=0 selects 64 MiB. Pinned
+	// (replayed) BCs never count against it. Eviction is size-aware LRU
+	// with doorkeeper admission; see cache.go.
+	CacheBytes int64
+	// MemoLimit bounds the per-model verdict memo (entries per
+	// generation; total residency ≈ 2×); <=0 selects 65536.
+	MemoLimit int
+	// ModelConcurrency bounds concurrently served predict calls through
+	// Registry.Predict for this model; excess calls are shed with
+	// ErrOverloaded rather than queued, so one hot model cannot starve
+	// the registry. <=0 means unlimited (the HTTP layer's global
+	// semaphore still applies).
+	ModelConcurrency int
+	// Uncached disables the BC cache and verdict memo: every prediction
+	// rebuilds its entry from scratch (pinned replay entries are still
+	// used — both modes share them). This is the reference engine the
+	// differential suite compares cached models against, and the honest
+	// cold-path baseline in benchmarks.
+	Uncached bool
 	// Metrics, when non-nil, receives serve counters and engine
 	// instrumentation.
 	Metrics *metrics.Collector
 }
 
 func (o Options) normalized() Options {
-	if o.CacheLimit <= 0 {
-		o.CacheLimit = 65536
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.MemoLimit <= 0 {
+		o.MemoLimit = 65536
 	}
 	return o
 }
 
-// Model is one bound model: an artifact, its database, and a warmed
-// coverage engine. Safe for concurrent use.
+// Model is one bound model version: an artifact, its database, a warmed
+// coverage engine, and the serving caches. Safe for concurrent use.
 type Model struct {
-	name       string
-	art        *model.Artifact
-	def        *logic.Definition
-	engine     *learn.CoverageEngine
-	db         *db.Database
-	cacheLimit int
-	mc         *metrics.Collector
+	name    string
+	version int
+	art     *model.Artifact
+	def     *logic.Definition
+	engine  *learn.CoverageEngine
+	db      *db.Database
+	mc      *metrics.Collector
+	opts    Options
+
+	// bc caches fresh-example ground entries under the byte budget; memo
+	// caches definition-level verdicts. Both nil in Uncached mode.
+	bc   *entryCache
+	memo *verdictMemo
+	// slots is the model's concurrency budget (nil = unlimited).
+	slots chan struct{}
+
+	// inflight counts requests holding this version (Registry.Acquire);
+	// a retired version closes drained when the count reaches zero.
+	inflight  atomic.Int64
+	retired   atomic.Bool
+	drained   chan struct{}
+	drainOnce sync.Once
 }
 
 // Bind reconstructs a model's training engine over the database and
@@ -124,15 +190,25 @@ func Bind(ctx context.Context, name string, art *model.Artifact, database *db.Da
 	}
 	engine.PinCached()
 
-	return &Model{
-		name:       name,
-		art:        art,
-		def:        def,
-		engine:     engine,
-		db:         database,
-		cacheLimit: opts.CacheLimit,
-		mc:         opts.Metrics,
-	}, nil
+	m := &Model{
+		name:    name,
+		version: 1,
+		art:     art,
+		def:     def,
+		engine:  engine,
+		db:      database,
+		mc:      opts.Metrics,
+		opts:    opts,
+		drained: make(chan struct{}),
+	}
+	if !opts.Uncached {
+		m.bc = newEntryCache(opts.CacheBytes, opts.Metrics, "serve.model."+name)
+		m.memo = newVerdictMemo(opts.MemoLimit)
+	}
+	if opts.ModelConcurrency > 0 {
+		m.slots = make(chan struct{}, opts.ModelConcurrency)
+	}
+	return m, nil
 }
 
 // replay re-runs the training build log through the fresh builder. Every
@@ -174,14 +250,97 @@ func replay(ctx context.Context, art *model.Artifact, builder *bottom.Builder, e
 // Name returns the model's registry name.
 func (m *Model) Name() string { return m.name }
 
+// Version returns the model's registry version (1 for the first binding
+// of a name, incremented by each Swap).
+func (m *Model) Version() int { return m.version }
+
 // Artifact returns the bound artifact (read-only by convention).
 func (m *Model) Artifact() *model.Artifact { return m.art }
 
 // Definition returns the learned theory.
 func (m *Model) Definition() *logic.Definition { return m.def }
 
-// CachedBCs reports the engine's current ground-BC cache size.
-func (m *Model) CachedBCs() int { return m.engine.CachedBCs() }
+// CachedBCs reports how many ground-BC entries the model holds: pinned
+// replay entries in the engine cache plus admitted entries in the
+// serving LRU.
+func (m *Model) CachedBCs() int {
+	n := m.engine.CachedBCs()
+	if m.bc != nil {
+		n += m.bc.len()
+	}
+	return n
+}
+
+// CacheBytesUsed reports the serving LRU's current byte occupancy
+// (pinned replay entries are unbudgeted and excluded).
+func (m *Model) CacheBytesUsed() int64 {
+	if m.bc == nil {
+		return 0
+	}
+	return m.bc.bytes()
+}
+
+// InFlight reports how many acquired requests currently hold this
+// version.
+func (m *Model) InFlight() int { return int(m.inflight.Load()) }
+
+// Retired reports whether this version has been replaced by a Swap.
+func (m *Model) Retired() bool { return m.retired.Load() }
+
+// ref/unref count requests holding this version. unref closes the drain
+// gate when a retired version's last request finishes.
+func (m *Model) ref() { m.inflight.Add(1) }
+
+func (m *Model) unref() {
+	if m.inflight.Add(-1) == 0 && m.retired.Load() {
+		m.closeDrained()
+	}
+}
+
+// Retire marks the version replaced: it serves its in-flight requests
+// to completion but Registry.Acquire routes new ones to the successor.
+func (m *Model) Retire() {
+	m.retired.Store(true)
+	if m.inflight.Load() == 0 {
+		m.closeDrained()
+	}
+}
+
+func (m *Model) closeDrained() { m.drainOnce.Do(func() { close(m.drained) }) }
+
+// Drained returns a channel closed when the version is retired and its
+// last in-flight request has finished.
+func (m *Model) Drained() <-chan struct{} { return m.drained }
+
+// Drain blocks until the version has drained (see Drained) or ctx ends.
+func (m *Model) Drain(ctx context.Context) error {
+	select {
+	case <-m.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// tryAcquireSlot claims a concurrency-budget slot without queueing;
+// false means the caller should shed.
+func (m *Model) tryAcquireSlot() bool {
+	if m.slots == nil {
+		return true
+	}
+	select {
+	case m.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (m *Model) releaseSlot() {
+	if m.slots != nil {
+		<-m.slots
+	}
+}
 
 // checkExample validates that e queries this model's target relation.
 func (m *Model) checkExample(e logic.Literal) error {
@@ -199,6 +358,49 @@ func (m *Model) checkExample(e logic.Literal) error {
 	return nil
 }
 
+// predictOne is the serving hot path: verdict memo, then the entry
+// ladder (pinned replay cache → size-aware LRU with singleflight →
+// derived-seed build), then the compiled subsumption check. Every layer
+// only redistributes cost; the verdict is a pure function of (model,
+// example).
+func (m *Model) predictOne(ctx context.Context, e Example) (bool, error) {
+	key := e.String()
+	if m.memo != nil {
+		if v, ok := m.memo.get(key); ok {
+			m.mc.Inc(metrics.ServeMemoHits)
+			return v, nil
+		}
+	}
+	ent, err := m.entryFor(ctx, key, e)
+	if err != nil {
+		return false, err
+	}
+	v, err := m.engine.CheckDefinitionEntryCtx(ctx, m.def, ent)
+	if err != nil {
+		return false, err
+	}
+	if m.memo != nil {
+		m.memo.put(key, v)
+	}
+	return v, nil
+}
+
+// entryFor resolves the example's ground entry: pinned replay entries
+// first (free and irreplaceable), then the LRU/singleflight path, then
+// a direct build when uncached.
+func (m *Model) entryFor(ctx context.Context, key string, e Example) (*learn.GroundEntry, error) {
+	if ent, ok := m.engine.PinnedEntry(key); ok {
+		m.mc.Inc(metrics.ServeCacheHits)
+		return ent, nil
+	}
+	if m.bc == nil {
+		return m.engine.BuildPooledEntry(ctx, e)
+	}
+	return m.bc.get(ctx, key, func() (*learn.GroundEntry, error) {
+		return m.engine.BuildPooledEntry(ctx, e)
+	})
+}
+
 // PredictExample reports whether the learned theory covers the ground
 // example, with the training verdict semantics (see the package
 // comment).
@@ -207,13 +409,15 @@ func (m *Model) PredictExample(ctx context.Context, e logic.Literal) (bool, erro
 		return false, err
 	}
 	span := m.mc.StartSpan()
-	covered, err := m.engine.DefinitionCoversPooledCtx(ctx, m.def, e)
+	covered, err := m.predictOne(ctx, e)
 	m.mc.EndSpan(metrics.SpanServePredict, span)
 	if err != nil {
 		return false, err
 	}
-	m.notePredictions(1, covered)
-	m.maybeEvict()
+	m.mc.Add(metrics.ServePredictions, 1)
+	if covered {
+		m.mc.Inc(metrics.ServeCovered)
+	}
 	return covered, nil
 }
 
@@ -234,10 +438,11 @@ func (m *Model) TupleExample(values []string) logic.Literal {
 }
 
 // PredictBatch classifies every example, fanning the independent
-// coverage tests across the model's worker bound with strided
-// assignment. Verdicts are positionally aligned with the input and
-// identical at every worker count (each test is a pure function of the
-// example — the pooled-path contract).
+// coverage tests across min(Workers, GOMAXPROCS, batch size) goroutines
+// with strided assignment — clamping to the hardware means
+// oversubscription never costs throughput on small hosts. Verdicts are
+// positionally aligned with the input and identical at every worker
+// count (each test is a pure function of the example).
 func (m *Model) PredictBatch(ctx context.Context, examples []logic.Literal) ([]bool, error) {
 	for _, e := range examples {
 		if err := m.checkExample(e); err != nil {
@@ -250,13 +455,16 @@ func (m *Model) PredictBatch(ctx context.Context, examples []logic.Literal) ([]b
 
 	out := make([]bool, len(examples))
 	nw := m.engine.Workers()
+	if p := runtime.GOMAXPROCS(0); nw > p {
+		nw = p
+	}
 	if nw > len(examples) {
 		nw = len(examples)
 	}
 	var err error
 	if nw <= 1 {
 		for i, e := range examples {
-			out[i], err = m.engine.DefinitionCoversPooledCtx(ctx, m.def, e)
+			out[i], err = m.predictOne(ctx, e)
 			if err != nil {
 				return nil, err
 			}
@@ -272,7 +480,7 @@ func (m *Model) PredictBatch(ctx context.Context, examples []logic.Literal) ([]b
 			go func(w int) {
 				defer wg.Done()
 				for i := w; i < len(examples); i += nw {
-					ok, cerr := m.engine.DefinitionCoversPooledCtx(ctx, m.def, examples[i])
+					ok, cerr := m.predictOne(ctx, examples[i])
 					if cerr != nil {
 						errMu.Lock()
 						if firstErr == nil {
@@ -299,56 +507,322 @@ func (m *Model) PredictBatch(ctx context.Context, examples []logic.Literal) ([]b
 	}
 	m.mc.Add(metrics.ServePredictions, int64(len(examples)))
 	m.mc.Add(metrics.ServeCovered, int64(covered))
-	m.maybeEvict()
 	return out, nil
 }
 
-func (m *Model) notePredictions(n int, covered bool) {
-	m.mc.Add(metrics.ServePredictions, int64(n))
-	if covered {
-		m.mc.Inc(metrics.ServeCovered)
-	}
+// ShadowMode selects how a tenant's shadow route treats traffic.
+type ShadowMode int
+
+const (
+	// ShadowCompare serves every prediction from the primary and replays
+	// a deterministic Percent of examples against the shadow version,
+	// counting verdict mismatches (serve.shadow_mismatches). Shadow
+	// errors and sheds never affect the primary response.
+	ShadowCompare ShadowMode = iota
+	// ShadowSplit A/B-routes: examples whose key hashes below Percent are
+	// served BY the shadow version, the rest by the primary. Routing is a
+	// pure function of the example, so repeated requests are sticky.
+	ShadowSplit
+)
+
+// ShadowRoute directs a tenant's traffic at a second bound version.
+type ShadowRoute struct {
+	Model   *Model
+	Mode    ShadowMode
+	Percent int // 0..100; 0 means 100 for ShadowCompare, no-op for ShadowSplit
 }
 
-// maybeEvict runs the engine's bounded-memory sweep after a request.
-func (m *Model) maybeEvict() {
-	if n := m.engine.EvictUnpinned(m.cacheLimit); n > 0 {
-		m.mc.Add(metrics.ServeBCEvictions, int64(n))
+func (sr *ShadowRoute) normalized() *ShadowRoute {
+	cp := *sr
+	if cp.Percent <= 0 {
+		if cp.Mode == ShadowCompare {
+			cp.Percent = 100
+		} else {
+			cp.Percent = 0
+		}
+	}
+	if cp.Percent > 100 {
+		cp.Percent = 100
+	}
+	return &cp
+}
+
+// tenant is one model name's serving state: the current version plus an
+// optional shadow route. cur is swapped atomically; swapMu serializes
+// writers (version numbering).
+type tenant struct {
+	name   string
+	swapMu sync.Mutex
+	cur    atomic.Pointer[Model]
+	shadow atomic.Pointer[ShadowRoute]
+}
+
+// acquire returns the tenant's current model with a reference held. The
+// re-check loop closes the race with Swap: after Swap(m2) returns, no
+// new reference on the old version can be taken, which is what makes
+// Drain's "no new work" guarantee sound.
+func (t *tenant) acquire() (*Model, func()) {
+	for {
+		m := t.cur.Load()
+		m.ref()
+		if t.cur.Load() == m {
+			return m, m.unref
+		}
+		m.unref()
 	}
 }
 
 // Registry holds the bound models of a serving process, keyed by name.
+// Safe for concurrent use; reads never block on swaps.
 type Registry struct {
-	models map[string]*Model
-	names  []string
+	mu      sync.RWMutex
+	tenants map[string]*tenant
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{models: make(map[string]*Model)}
+	return &Registry{tenants: make(map[string]*tenant)}
 }
 
-// Add registers the model under its name, replacing any previous
-// binding.
-func (r *Registry) Add(m *Model) {
-	if _, ok := r.models[m.name]; !ok {
-		r.names = append(r.names, m.name)
-		sort.Strings(r.names)
+func (r *Registry) tenant(name string) *tenant {
+	r.mu.RLock()
+	t := r.tenants[name]
+	r.mu.RUnlock()
+	return t
+}
+
+// Add registers the model under its name; an existing binding is
+// swapped out (see Swap).
+func (r *Registry) Add(m *Model) { r.Swap(m) }
+
+// Swap atomically installs m as its name's current version and returns
+// the replaced version (nil for a first binding). The old version is
+// retired: requests that already resolved it finish on it (that IS the
+// drain window), new requests land on m. Callers that need to know the
+// rollout completed wait on old.Drain.
+func (r *Registry) Swap(m *Model) *Model {
+	r.mu.Lock()
+	t := r.tenants[m.name]
+	if t == nil {
+		t = &tenant{name: m.name}
+		r.tenants[m.name] = t
 	}
-	r.models[m.name] = m
+	r.mu.Unlock()
+
+	t.swapMu.Lock()
+	old := t.cur.Load()
+	if old != nil {
+		m.version = old.version + 1
+	} else {
+		m.version = 1
+	}
+	t.cur.Store(m)
+	t.swapMu.Unlock()
+	if old != nil {
+		old.Retire()
+		m.mc.Inc(metrics.ServeModelSwaps)
+	}
+	m.mc.SetNamedGauge("serve.model."+m.name+".version", int64(m.version))
+	return old
 }
 
-// Get returns the named model.
+// Get returns the named model's current version.
 func (r *Registry) Get(name string) (*Model, bool) {
-	m, ok := r.models[name]
-	return m, ok
+	t := r.tenant(name)
+	if t == nil {
+		return nil, false
+	}
+	m := t.cur.Load()
+	return m, m != nil
+}
+
+// Acquire returns the named model's current version with a reference
+// held; the caller must call release when its request is done. The
+// reference keeps drain accounting exact across concurrent swaps.
+func (r *Registry) Acquire(name string) (m *Model, release func(), ok bool) {
+	t := r.tenant(name)
+	if t == nil {
+		return nil, nil, false
+	}
+	m, release = t.acquire()
+	return m, release, true
+}
+
+// SetShadow directs the named tenant's traffic through route (nil
+// clears). The shadow model must be bound but need not be registered.
+func (r *Registry) SetShadow(name string, route *ShadowRoute) error {
+	t := r.tenant(name)
+	if t == nil {
+		return fmt.Errorf("%w: %q", ErrNoModel, name)
+	}
+	if route == nil {
+		t.shadow.Store(nil)
+		return nil
+	}
+	if route.Model == nil {
+		return fmt.Errorf("serve: shadow route for %q has no model", name)
+	}
+	t.shadow.Store(route.normalized())
+	return nil
+}
+
+// Shadow returns the tenant's current shadow route (nil when off).
+func (r *Registry) Shadow(name string) *ShadowRoute {
+	t := r.tenant(name)
+	if t == nil {
+		return nil
+	}
+	return t.shadow.Load()
+}
+
+// Predict classifies the batch through the full tenancy path: acquire
+// the tenant's current version, claim its concurrency budget (shedding
+// with ErrOverloaded when exhausted), apply shadow/A-B routing, and
+// return positionally aligned verdicts plus the version that served
+// each example.
+func (r *Registry) Predict(ctx context.Context, name string, examples []Example) (verdicts []bool, versions []int, err error) {
+	m, release, ok := r.Acquire(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNoModel, name)
+	}
+	defer release()
+	if !m.tryAcquireSlot() {
+		m.mc.Inc(metrics.ServeLoadShed)
+		return nil, nil, fmt.Errorf("%w: model %q at %d in-flight predicts", ErrOverloaded, name, cap(m.slots))
+	}
+	defer m.releaseSlot()
+
+	route := r.Shadow(name)
+	if route == nil {
+		verdicts, err = m.PredictBatch(ctx, examples)
+		if err != nil {
+			return nil, nil, err
+		}
+		return verdicts, uniformVersions(m.version, len(examples)), nil
+	}
+
+	switch route.Mode {
+	case ShadowSplit:
+		return predictSplit(ctx, m, route, examples)
+	default:
+		return predictCompared(ctx, m, route, examples)
+	}
+}
+
+func uniformVersions(v, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// predictCompared serves from the primary and replays a deterministic
+// sample against the shadow, counting mismatches. The shadow leg is
+// best-effort: its errors and sheds are recorded, never surfaced.
+func predictCompared(ctx context.Context, m *Model, route *ShadowRoute, examples []Example) ([]bool, []int, error) {
+	verdicts, err := m.PredictBatch(ctx, examples)
+	if err != nil {
+		return nil, nil, err
+	}
+	sh := route.Model
+	sample := make([]Example, 0, len(examples))
+	sampleIdx := make([]int, 0, len(examples))
+	for i, e := range examples {
+		if abHash(e.String()) < route.Percent {
+			sample = append(sample, e)
+			sampleIdx = append(sampleIdx, i)
+		}
+	}
+	if len(sample) > 0 && sh.tryAcquireSlot() {
+		sh.ref()
+		shadowVerdicts, serr := sh.PredictBatch(ctx, sample)
+		sh.unref()
+		sh.releaseSlot()
+		if serr == nil {
+			mismatches := 0
+			for j, v := range shadowVerdicts {
+				if v != verdicts[sampleIdx[j]] {
+					mismatches++
+				}
+			}
+			m.mc.Add(metrics.ServeShadowChecks, int64(len(sample)))
+			m.mc.Add(metrics.ServeShadowMismatches, int64(mismatches))
+		}
+	}
+	return verdicts, uniformVersions(m.version, len(examples)), nil
+}
+
+// predictSplit A/B-routes the batch: examples hashing below Percent are
+// served by the shadow version, the rest by the primary. A shed shadow
+// falls back to the primary for its share (counted as load shed) so the
+// request still succeeds.
+func predictSplit(ctx context.Context, m *Model, route *ShadowRoute, examples []Example) ([]bool, []int, error) {
+	sh := route.Model
+	var primary, shadow []Example
+	var primaryIdx, shadowIdx []int
+	for i, e := range examples {
+		if abHash(e.String()) < route.Percent {
+			shadow = append(shadow, e)
+			shadowIdx = append(shadowIdx, i)
+		} else {
+			primary = append(primary, e)
+			primaryIdx = append(primaryIdx, i)
+		}
+	}
+	verdicts := make([]bool, len(examples))
+	versions := make([]int, len(examples))
+	if len(shadow) > 0 {
+		if sh.tryAcquireSlot() {
+			sh.ref()
+			got, err := sh.PredictBatch(ctx, shadow)
+			sh.unref()
+			sh.releaseSlot()
+			if err != nil {
+				return nil, nil, err
+			}
+			for j, i := range shadowIdx {
+				verdicts[i] = got[j]
+				versions[i] = sh.version
+			}
+		} else {
+			// Shadow saturated: its share rides the primary this request.
+			m.mc.Inc(metrics.ServeLoadShed)
+			primary = append(primary, shadow...)
+			primaryIdx = append(primaryIdx, shadowIdx...)
+		}
+	}
+	if len(primary) > 0 {
+		got, err := m.PredictBatch(ctx, primary)
+		if err != nil {
+			return nil, nil, err
+		}
+		for j, i := range primaryIdx {
+			verdicts[i] = got[j]
+			versions[i] = m.version
+		}
+	}
+	return verdicts, versions, nil
 }
 
 // Names lists registered model names in sorted order.
-func (r *Registry) Names() []string { return append([]string(nil), r.names...) }
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.tenants))
+	for name := range r.tenants {
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
 
 // Len returns the number of registered models.
-func (r *Registry) Len() int { return len(r.models) }
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tenants)
+}
 
 // DBResolver maps an artifact's data reference to a live database.
 type DBResolver func(model.DataRef) (*db.Database, error)
@@ -358,7 +832,10 @@ type DBResolver func(model.DataRef) (*db.Database, error)
 // replaces every artifact's CSV path — the serving host's data rarely
 // lives where the training host's did). Databases are cached by
 // reference, so models trained on the same data share one instance.
+// The returned resolver is safe for concurrent use (hot reloads can
+// race the initial load).
 func DefaultResolver(csvOverride string) DBResolver {
+	var mu sync.Mutex
 	cache := make(map[string]*db.Database)
 	return func(ref model.DataRef) (*db.Database, error) {
 		if ref.IsZero() {
@@ -368,6 +845,8 @@ func DefaultResolver(csvOverride string) DBResolver {
 			ref.CSVDir = csvOverride
 		}
 		key := ref.Key()
+		mu.Lock()
+		defer mu.Unlock()
 		if d, ok := cache[key]; ok {
 			return d, nil
 		}
@@ -398,14 +877,10 @@ func DefaultResolver(csvOverride string) DBResolver {
 // a serving process with a silently missing model is worse than one
 // that refuses to start.
 func LoadDir(ctx context.Context, dir string, resolve DBResolver, opts Options) (*Registry, error) {
-	paths, err := filepath.Glob(filepath.Join(dir, "*.model"))
+	paths, err := modelPaths(dir)
 	if err != nil {
 		return nil, err
 	}
-	if len(paths) == 0 {
-		return nil, fmt.Errorf("serve: no *.model files in %s", dir)
-	}
-	sort.Strings(paths)
 	r := NewRegistry()
 	for _, p := range paths {
 		art, err := model.Load(p)
@@ -425,4 +900,81 @@ func LoadDir(ctx context.Context, dir string, resolve DBResolver, opts Options) 
 		opts.Metrics.Inc(metrics.ServeModelsLoaded)
 	}
 	return r, nil
+}
+
+func modelPaths(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.model"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("serve: no *.model files in %s", dir)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// ReloadReport summarizes one ReloadDir sweep.
+type ReloadReport struct {
+	// Swapped names models replaced with a new version; Added names
+	// first-time bindings; Unchanged names artifacts whose checksum
+	// matched the serving version (skipped); Failed maps names to load or
+	// bind errors (existing versions keep serving).
+	Swapped   []string          `json:"swapped,omitempty"`
+	Added     []string          `json:"added,omitempty"`
+	Unchanged []string          `json:"unchanged,omitempty"`
+	Failed    map[string]string `json:"failed,omitempty"`
+	// Retired holds the replaced versions, still draining their in-flight
+	// requests; callers wanting rollout confirmation wait on Drain.
+	Retired []*Model `json:"-"`
+}
+
+// ReloadDir re-scans a models directory and hot-swaps changed models
+// into the registry with zero downtime: each changed artifact is fully
+// bound (replay and all) BEFORE its swap, the swap is atomic, and the
+// replaced version drains in-flight requests on its own. Unchanged
+// artifacts (same checksum as the serving version) are skipped;
+// per-model failures are reported but never interrupt serving — unlike
+// startup (LoadDir), where a bad artifact fails the process, a bad
+// reload keeps the last good version live.
+func ReloadDir(ctx context.Context, r *Registry, dir string, resolve DBResolver, opts Options) (*ReloadReport, error) {
+	paths, err := modelPaths(dir)
+	if err != nil {
+		return nil, err
+	}
+	opts.Metrics.Inc(metrics.ServeReloads)
+	rep := &ReloadReport{Failed: make(map[string]string)}
+	for _, p := range paths {
+		name := strings.TrimSuffix(filepath.Base(p), ".model")
+		art, err := model.Load(p)
+		if err != nil {
+			rep.Failed[name] = err.Error()
+			continue
+		}
+		if cur, ok := r.Get(name); ok && cur.art.Checksum == art.Checksum {
+			rep.Unchanged = append(rep.Unchanged, name)
+			continue
+		}
+		database, err := resolve(art.Data)
+		if err != nil {
+			rep.Failed[name] = err.Error()
+			continue
+		}
+		m, err := Bind(ctx, name, art, database, opts)
+		if err != nil {
+			rep.Failed[name] = err.Error()
+			continue
+		}
+		if old := r.Swap(m); old != nil {
+			rep.Swapped = append(rep.Swapped, name)
+			rep.Retired = append(rep.Retired, old)
+		} else {
+			rep.Added = append(rep.Added, name)
+			opts.Metrics.Inc(metrics.ServeModelsLoaded)
+		}
+	}
+	if len(rep.Failed) == 0 {
+		rep.Failed = nil
+	}
+	return rep, nil
 }

@@ -146,7 +146,9 @@ func TestPredictBatchWorkerInvariance(t *testing.T) {
 
 func TestEvictionKeepsVerdicts(t *testing.T) {
 	d, art := testWorld(t)
-	m, err := Bind(context.Background(), "gp", art, d, Options{Workers: 2, CacheLimit: 1})
+	// A 1-byte budget rejects every entry at admission and a 1-entry memo
+	// churns constantly: every prediction pays the full rebuild path.
+	m, err := Bind(context.Background(), "gp", art, d, Options{Workers: 2, CacheBytes: 1, MemoLimit: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,10 +160,10 @@ func TestEvictionKeepsVerdicts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The post-request sweep must have dropped the unpinned BCs (no
-	// pinned ones exist: the artifact has no build log).
-	if n := m.CachedBCs(); n > 1 {
-		t.Fatalf("cache holds %d BCs after eviction, limit 1", n)
+	// Nothing fit the budget, and no pinned BCs exist (the artifact has
+	// no build log): the cache must be empty.
+	if n := m.CachedBCs(); n != 0 {
+		t.Fatalf("cache holds %d BCs under a 1-byte budget", n)
 	}
 	// Cold-cache re-prediction rebuilds identical BCs (derived seeds) and
 	// must reproduce every verdict.
@@ -296,14 +298,30 @@ func TestHTTPEndpoints(t *testing.T) {
 		}
 	}
 
-	// Error paths: unknown model, empty body, bad example.
-	resp, _ = postJSON(t, ts.Client(), ts.URL+"/v1/models/nope/predict", map[string]any{"examples": []string{"gp(a,b)"}})
+	// Error paths: unknown model, empty body, bad example. Errors carry
+	// the structured {"error":{"code","message"}} envelope.
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v1/models/nope/predict", map[string]any{"examples": []string{"gp(a,b)"}})
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown model: %s", resp.Status)
 	}
-	resp, _ = postJSON(t, ts.Client(), ts.URL+"/v1/models/gp/predict", map[string]any{})
+	var eb struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("error body not structured JSON: %s", body)
+	}
+	if eb.Error.Code != ErrCodeModelNotFound || eb.Error.Message == "" {
+		t.Fatalf("404 error body %+v", eb)
+	}
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v1/models/gp/predict", map[string]any{})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("empty batch: %s", resp.Status)
+	}
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error.Code != ErrCodeBadRequest {
+		t.Fatalf("400 error body %s (err %v)", body, err)
 	}
 	resp, _ = postJSON(t, ts.Client(), ts.URL+"/v1/models/gp/predict", map[string]any{"examples": []string{"gp(X,b)"}})
 	if resp.StatusCode != http.StatusBadRequest {

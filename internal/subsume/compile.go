@@ -84,5 +84,33 @@ func CompileGround(in *logic.Interner, g *logic.Clause) *CompiledGround {
 // Interner returns the intern table the ground clause was compiled with.
 func (cg *CompiledGround) Interner() *logic.Interner { return cg.in }
 
+// SizeBytes estimates the compiled index's resident heap footprint
+// (rows, postings, and map overheads; the shared interner is excluded —
+// it is owned by the engine, not the entry). Serving caches charge
+// entries against byte budgets with it; the estimate is deterministic
+// for a given compiled ground.
+func (cg *CompiledGround) SizeBytes() int64 {
+	const (
+		structBase  = 64 // CompiledGround + map header
+		sliceHeader = 24
+		mapEntry    = 16 // bucket share per key/value pair (int32 keys)
+		extentBase  = 48 // groundExtent struct + headers
+	)
+	size := int64(structBase) + sliceHeader + 4*int64(len(cg.headVals))
+	for _, ext := range cg.preds {
+		size += extentBase + mapEntry
+		for _, row := range ext.rows {
+			size += sliceHeader + 4*int64(len(row))
+		}
+		for _, idx := range ext.index {
+			size += sliceHeader + 48 // one map per position
+			for _, ids := range idx {
+				size += mapEntry + sliceHeader + 4*int64(len(ids))
+			}
+		}
+	}
+	return size
+}
+
 // BodyLen returns the number of ground body literals compiled.
 func (cg *CompiledGround) BodyLen() int { return cg.bodyLen }
