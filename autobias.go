@@ -18,6 +18,7 @@ package autobias
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/bias"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/query"
 	"repro/internal/report"
+	"repro/internal/shard"
 	"repro/internal/subsume"
 )
 
@@ -84,6 +86,13 @@ type (
 	// ModelDataRef names the database a model was trained over, so a
 	// serving process can rebind it.
 	ModelDataRef = model.DataRef
+	// ShardWorker is one shard-worker service — a coverage engine behind
+	// HTTP, answering a distributed run's coverage RPCs; see
+	// NewShardWorker, Options.Shard, and cmd/shardworker.
+	ShardWorker = shard.Worker
+	// ShardWorkerOptions tunes a shard worker's HTTP substrate (request
+	// cap, batch cap, timeouts); the zero value selects defaults.
+	ShardWorkerOptions = shard.WorkerOptions
 )
 
 // LoadModel reads and verifies a model artifact (version, checksum,
@@ -113,6 +122,19 @@ const (
 	// budget and reported "not covered" (the §5 sound approximation; not
 	// counted by Report.Degraded).
 	DegradationSubsumeBudget = report.SubsumeBudget
+	// DegradationShardRetried: a shard coverage RPC failed and was retried
+	// (or failed over to a surviving shard). Results stay exact — the
+	// retry resolved the same pure verdicts — so this does not count as
+	// Degraded.
+	DegradationShardRetried = report.ShardRetried
+	// DegradationShardFellBackLocal: every worker for a shard was
+	// unreachable and its examples were computed in-process. Results stay
+	// exact; the run merely lost its distribution.
+	DegradationShardFellBackLocal = report.ShardFellBackLocal
+	// DegradationShardLost: a shard's examples could not be resolved
+	// anywhere (local fallback disabled); the run degraded to its anytime
+	// partial theory.
+	DegradationShardLost = report.ShardLost
 )
 
 // NewSchema creates an empty schema.
@@ -259,6 +281,59 @@ type Options struct {
 	// across runs to aggregate, or poll Snapshot() live from another
 	// goroutine — all collector methods are concurrency-safe.
 	Collector *MetricsCollector
+	// PureGroundBCs forces derived-seed ("pure") ground-BC provenance:
+	// each example's BC becomes a pure function of (options, example)
+	// instead of a product of the builder's shared RNG stream. Distributed
+	// runs require it (Options.Shard implies it); set it on a
+	// single-process run to produce the reference a distributed run must
+	// match bit for bit. Pure and shared provenance sample different,
+	// equally valid BCs, so theories differ between the two modes — but
+	// are deterministic within each.
+	PureGroundBCs bool
+	// Shard, when non-nil, distributes coverage testing — the learner's
+	// hot loop — across shard-worker processes; see ShardOptions,
+	// NewShardWorker and DESIGN.md §13. Not supported with MethodAleph.
+	Shard *ShardOptions
+}
+
+// ShardOptions configures a distributed coverage run: the worker fleet
+// plus the knobs of the failover ladder (timeouts, retries, hedging,
+// local fallback). The zero value of every field selects a sane
+// default; only Workers is required.
+type ShardOptions struct {
+	// Workers lists the fleet, one entry per shard; replicas of the same
+	// shard are separated by '|', e.g.
+	// {"http://a:7001|http://b:7001", "http://a:7002"}. Every worker must
+	// be started (cmd/shardworker or NewShardWorker) from the same task
+	// and options as this run — a config fingerprint on every RPC
+	// enforces it.
+	Workers []string
+	// RequestTimeout bounds one RPC attempt; <=0 selects 10s.
+	RequestTimeout time.Duration
+	// Retries is the attempt budget per shard; <=0 selects 3.
+	Retries int
+	// HedgeDelay, when >0, duplicates a straggling request to a second
+	// replica after this long; first answer wins. 0 disables hedging.
+	HedgeDelay time.Duration
+	// DisableLocalFallback aborts (anytime, partial theory) instead of
+	// computing a lost shard's examples in-process.
+	DisableLocalFallback bool
+}
+
+// shardFleet parses the "url1|url2" replica syntax into per-shard
+// replica lists.
+func (so *ShardOptions) shardFleet() [][]string {
+	fleet := make([][]string, 0, len(so.Workers))
+	for _, entry := range so.Workers {
+		var reps []string
+		for _, u := range strings.Split(entry, "|") {
+			if u = strings.TrimSpace(u); u != "" {
+				reps = append(reps, strings.TrimSuffix(u, "/"))
+			}
+		}
+		fleet = append(fleet, reps)
+	}
+	return fleet
 }
 
 // collector resolves the run's metrics collector: Collector wins, then
@@ -518,6 +593,9 @@ func LearnCtx(ctx context.Context, task Task, opts Options) (*Result, error) {
 	res := &Result{Bias: b, Graph: graph, BiasTime: biasTime, db: task.DB, metrics: mc}
 	start := time.Now()
 	if opts.method() == MethodAleph {
+		if opts.Shard != nil {
+			return nil, fmt.Errorf("autobias: Options.Shard is not supported with MethodAleph (the FOIL loop does not route coverage through the engine's count path)")
+		}
 		l := foil.New(task.DB, compiled, foil.Options{
 			Bottom:        opts.bottomOptions(),
 			Subsume:       opts.subsumeOptions(),
@@ -528,6 +606,9 @@ func LearnCtx(ctx context.Context, task Task, opts Options) (*Result, error) {
 			Workers:       opts.Workers,
 			Metrics:       mc,
 		})
+		if opts.PureGroundBCs {
+			l.Coverage().SetPureGroundBCs(true)
+		}
 		def, stats, err := l.LearnCtx(ctx, task.Pos, task.Neg)
 		if err != nil {
 			return nil, err
@@ -552,7 +633,30 @@ func LearnCtx(ctx context.Context, task Task, opts Options) (*Result, error) {
 			Seed:          opts.Seed,
 			Workers:       opts.Workers,
 			Metrics:       mc,
+			PureGroundBCs: opts.PureGroundBCs || opts.Shard != nil,
 		})
+		if so := opts.Shard; so != nil {
+			fp := shard.EngineFingerprint(l.Coverage(),
+				model.Fingerprint(task.DB.Schema(), task.Target, task.TargetAttrs), b.String())
+			coord, err := shard.New(shard.Options{
+				Shards:               so.shardFleet(),
+				Fingerprint:          fp,
+				RequestTimeout:       so.RequestTimeout,
+				Retries:              so.Retries,
+				HedgeDelay:           so.HedgeDelay,
+				DisableLocalFallback: so.DisableLocalFallback,
+				JitterSeed:           opts.Seed,
+				Metrics:              mc,
+			})
+			if err != nil {
+				return nil, err
+			}
+			coord.Bind(l.Coverage())
+			// Detach when the run ends: post-run queries (Covers, Evaluate)
+			// resolve locally against the memo and cache, never over RPC.
+			defer l.Coverage().SetTransport(nil)
+			defer coord.Close()
+		}
 		def, stats, err := l.LearnCtx(ctx, task.Pos, task.Neg)
 		if err != nil {
 			return nil, err
@@ -573,6 +677,48 @@ func LearnCtx(ctx context.Context, task Task, opts Options) (*Result, error) {
 		res.Metrics = &snap
 	}
 	return res, nil
+}
+
+// NewShardWorker builds the shard-worker service for a distributed run:
+// a coverage engine constructed from the same task and options as the
+// coordinator's — same bias (induced or given), same effective
+// bottom-clause and subsumption options, pure ground-BC provenance —
+// plus the config fingerprint that proves the parity on every RPC. The
+// returned worker serves POST /v1/coverage, GET /healthz, GET /readyz
+// and GET /metrics; run it with (*ShardWorker).Serve or mount
+// (*ShardWorker).Handler yourself. See cmd/shardworker for the CLI.
+func NewShardWorker(task Task, opts Options, id string, wopts ShardWorkerOptions) (*ShardWorker, error) {
+	if opts.method() == MethodAleph {
+		return nil, fmt.Errorf("autobias: shard workers are not supported with MethodAleph")
+	}
+	mc := opts.collector()
+	opts.Collector = mc
+	b, _, err := BuildBias(task, opts)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := b.Compile(task.DB.Schema(), task.Target, len(task.TargetAttrs))
+	if err != nil {
+		return nil, err
+	}
+	l := learn.New(task.DB, compiled, learn.Options{
+		Bottom:        opts.bottomOptions(),
+		Subsume:       opts.subsumeOptions(),
+		BeamWidth:     opts.BeamWidth,
+		EvalSampleCap: opts.EvalSampleCap,
+		MinPrecision:  opts.MinPrecision,
+		Seed:          opts.Seed,
+		Workers:       opts.Workers,
+		Metrics:       mc,
+		PureGroundBCs: true,
+	})
+	engine := l.Coverage()
+	fp := shard.EngineFingerprint(engine,
+		model.Fingerprint(task.DB.Schema(), task.Target, task.TargetAttrs), b.String())
+	if wopts.Metrics == nil {
+		wopts.Metrics = mc
+	}
+	return shard.NewWorker(id, engine, fp, wopts), nil
 }
 
 // DiscoverINDs runs Binder-style IND discovery over the database with

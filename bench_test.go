@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/benchenv"
 	"repro/internal/bottom"
 	"repro/internal/learn"
 	"repro/internal/logic"
@@ -63,6 +64,7 @@ func splitTask(t Task) (Task, []Example, []Example) {
 // split, score on the test split, report f1/clauses/timeout metrics.
 func runCellBench(b *testing.B, dataset string, opts Options) {
 	b.Helper()
+	b.Logf("env: %s", benchenv.Capture())
 	task := taskFor(b, dataset)
 	train, testPos, testNeg := splitTask(task)
 	opts.Timeout = benchBudget

@@ -10,6 +10,14 @@
 //	autobias -dataset flt -method manual         # expert bias
 //	autobias -dataset hiv -sampling random       # §4.2 sampling
 //	autobias -csv ./data -target t -attrs a,b -pos pos.txt -neg neg.txt
+//	autobias -dataset uw -shards http://h1:7001,http://h2:7002
+//	                                             # coverage on shard workers
+//
+// With -shards, the hot loop (coverage testing) runs on cmd/shardworker
+// processes that are allowed to fail: RPCs retry with backoff, lost
+// shards fail over to survivors, and a fully lost fleet degrades to
+// in-process computation — the learned theory is bit-identical to a
+// single-process -pure-bcs run throughout. See DESIGN.md §13.
 //
 // The -pos/-neg files hold one ground fact per line, e.g.
 // "advisedBy(juan,sarita)".
@@ -48,6 +56,12 @@ func main() {
 	workers := flag.Int("workers", 0, "coverage-test worker pool size (0 = all CPUs, 1 = sequential; results are identical at any setting)")
 	metricsOut := flag.String("metrics", "", "write run instrumentation (counters, histograms, spans) to this JSON file")
 	saveModel := flag.String("save-model", "", "write the learned model as a serving artifact (theory, bias, replay log) to this file; serve it with cmd/serve")
+	shards := flag.String("shards", "", "distribute coverage testing across shard workers (cmd/shardworker): comma-separated base URLs, one per shard, replicas of a shard separated by '|'")
+	shardTimeout := flag.Duration("shard-timeout", 0, "per-RPC timeout with -shards (0 = 10s)")
+	shardRetries := flag.Int("shard-retries", 0, "RPC attempt budget per shard with -shards (0 = 3)")
+	shardHedge := flag.Duration("shard-hedge", 0, "duplicate straggling shard RPCs to a second replica after this delay (0 = off)")
+	shardNoFallback := flag.Bool("shard-no-fallback", false, "with -shards: abort to the partial theory instead of computing a lost shard's examples in-process")
+	pure := flag.Bool("pure-bcs", false, "derived-seed ground-BC provenance (implied by -shards; set on a single-process run to produce the reference a sharded run matches bit for bit)")
 	flag.Parse()
 
 	task, err := buildTask(*dataset, *scale, *seed, *csvDir, *target, *attrs, *posFile, *negFile)
@@ -61,13 +75,23 @@ func main() {
 		os.Exit(2)
 	}
 	opts := autobias.Options{
-		Method:     autobias.Method(*method),
-		Sampling:   strat,
-		Depth:      *depth,
-		SampleSize: *sampleSize,
-		Timeout:    *timeout,
-		Seed:       *seed,
-		Workers:    *workers,
+		Method:        autobias.Method(*method),
+		Sampling:      strat,
+		Depth:         *depth,
+		SampleSize:    *sampleSize,
+		Timeout:       *timeout,
+		Seed:          *seed,
+		Workers:       *workers,
+		PureGroundBCs: *pure,
+	}
+	if *shards != "" {
+		opts.Shard = &autobias.ShardOptions{
+			Workers:              strings.Split(*shards, ","),
+			RequestTimeout:       *shardTimeout,
+			Retries:              *shardRetries,
+			HedgeDelay:           *shardHedge,
+			DisableLocalFallback: *shardNoFallback,
+		}
 	}
 	var mc *autobias.MetricsCollector
 	if *metricsOut != "" {

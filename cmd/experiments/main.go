@@ -48,6 +48,9 @@ type config struct {
 	reps    int // Table 6 repetitions for random/stratified
 	timeout time.Duration
 	workers int // coverage + CV fold parallelism (0 = all CPUs)
+	// shard, when non-nil, distributes coverage testing across shard
+	// workers (skipped for MethodAleph, which cannot shard).
+	shard *autobias.ShardOptions
 	// mc, when non-nil, accumulates instrumentation across every cell of
 	// the sweep (one collector for the whole run; concurrent folds record
 	// into it safely).
@@ -67,9 +70,13 @@ func main() {
 	datasets := flag.String("datasets", "", "comma-separated subset of datasets (default: all)")
 	metricsOut := flag.String("metrics", "", "write sweep instrumentation (counters, histograms, spans) to this JSON file")
 	httpAddr := flag.String("http", "", "serve /metrics (live collector snapshot as JSON) and /debug/pprof/ on this address")
+	shards := flag.String("shards", "", "distribute the AutoBias column's coverage testing across shard workers (cmd/shardworker): comma-separated base URLs, replicas separated by '|'; the fleet must be started from the same single dataset the sweep runs (use -datasets) and matching seed/options")
 	flag.Parse()
 
 	cfg := config{scale: *scale, seed: *seed, folds: *folds, reps: *reps, timeout: *timeout, workers: *workers}
+	if *shards != "" {
+		cfg.shard = &autobias.ShardOptions{Workers: strings.Split(*shards, ",")}
+	}
 	if *quick {
 		cfg.scale, cfg.folds, cfg.reps, cfg.timeout = 0.3, 3, 2, 15*time.Second
 	}
@@ -230,6 +237,10 @@ func runTable5(ctx context.Context, out io.Writer, names []string, cfg config) e
 			opts := autobias.Options{Method: m, Timeout: cfg.timeout, Seed: cfg.seed, Workers: cfg.workers, Collector: cfg.mc}
 			if m == autobias.MethodAutoBias {
 				opts.INDs = inds
+				// Only the AutoBias column can use the fleet: the config
+				// fingerprint covers the bias text, and cmd/shardworker
+				// builds the autobias bias by default.
+				opts.Shard = cfg.shard
 			}
 			c, err := runCell(ctx, task, opts, k)
 			if err != nil {

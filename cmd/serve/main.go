@@ -12,9 +12,11 @@
 //	curl -X POST localhost:8080/v1/models/uw/predict \
 //	     -d '{"tuples": [["stud_0001","prof_0002"]]}'
 //
-// Endpoints: GET /healthz, GET /metrics (JSON snapshot), GET
-// /v1/models, GET /v1/models/{name}, POST /v1/models/{name}/predict,
-// POST /admin/reload, and /debug/pprof/ — all on one port.
+// Endpoints: GET /healthz (liveness: the process is up), GET /readyz
+// (readiness: 503 + Retry-After while draining or mid-reload — route
+// traffic on this one), GET /metrics (JSON snapshot), GET /v1/models,
+// GET /v1/models/{name}, POST /v1/models/{name}/predict, POST
+// /admin/reload, and /debug/pprof/ — all on one port.
 //
 // Hot reload: SIGHUP or POST /admin/reload re-scans -models and swaps
 // changed artifacts in with zero downtime (the old version drains its

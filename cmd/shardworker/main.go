@@ -1,0 +1,171 @@
+// Command shardworker runs one shard-worker process for a distributed
+// learning run: a coverage engine behind HTTP, answering the
+// coordinator's coverage RPCs (POST /v1/coverage) plus /healthz
+// (liveness), /readyz (readiness, used by the coordinator's revival
+// probes) and /metrics.
+//
+// Every worker must be started from the same task and learning options
+// as the coordinating run — it rebuilds the same bias and engine
+// configuration from them, and a config fingerprint on every RPC
+// enforces the parity (mismatch answers 409). Workers are stateless
+// apart from warm caches: killing one mid-run costs retries and
+// failovers, never correctness.
+//
+// Usage:
+//
+//	shardworker -dataset uw -id w1 -addr :7001
+//	shardworker -dataset uw -id w2 -addr :7002
+//	autobias    -dataset uw -shards http://localhost:7001,http://localhost:7002
+//
+// The actual listen address is printed on stdout (useful with -addr :0).
+// SIGINT/SIGTERM drains gracefully: /readyz flips to 503, in-flight
+// requests finish, then the process exits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	autobias "repro"
+	"repro/internal/cli"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "generated dataset: uw, hiv, imdb, flt, sys")
+	scale := flag.Float64("scale", 1, "dataset scale factor")
+	seed := flag.Int64("seed", 1, "random seed (must match the coordinating run)")
+	csvDir := flag.String("csv", "", "load database from a directory of <relation>.csv files")
+	target := flag.String("target", "", "target relation name (with -csv)")
+	attrs := flag.String("attrs", "", "comma-separated target attribute names (with -csv)")
+	posFile := flag.String("pos", "", "file of positive examples (with -csv)")
+	negFile := flag.String("neg", "", "file of negative examples (with -csv)")
+	method := flag.String("method", "autobias", "castor, noconst, manual, autobias (must match the coordinating run)")
+	sampling := flag.String("sampling", "naive", "naive, random, stratified")
+	depth := flag.Int("depth", 2, "bottom-clause construction depth d")
+	sampleSize := flag.Int("s", 20, "sample size s (tuples per mode/stratum)")
+	workers := flag.Int("workers", 0, "local coverage worker pool size (0 = all CPUs)")
+	id := flag.String("id", "", "worker id reported in health/readiness payloads (default: the listen address)")
+	addr := flag.String("addr", ":0", "listen address (use :0 for an ephemeral port; the actual address is printed)")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request coverage budget")
+	maxConcurrent := flag.Int("max-concurrent", 0, "in-flight request cap (0 = 64); excess sheds 503 + Retry-After")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	flag.Parse()
+
+	task, err := buildTask(*dataset, *scale, *seed, *csvDir, *target, *attrs, *posFile, *negFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shardworker:", err)
+		os.Exit(1)
+	}
+	strat, err := parseSampling(*sampling)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shardworker:", err)
+		os.Exit(2)
+	}
+	opts := autobias.Options{
+		Method:     autobias.Method(*method),
+		Sampling:   strat,
+		Depth:      *depth,
+		SampleSize: *sampleSize,
+		Seed:       *seed,
+		Workers:    *workers,
+		Metrics:    true,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shardworker:", err)
+		os.Exit(1)
+	}
+	if *id == "" {
+		*id = ln.Addr().String()
+	}
+	worker, err := autobias.NewShardWorker(task, opts, *id, autobias.ShardWorkerOptions{
+		MaxConcurrent:  *maxConcurrent,
+		RequestTimeout: *reqTimeout,
+		DrainTimeout:   *drainTimeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shardworker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("shardworker %s listening on http://%s fingerprint=%s\n", *id, ln.Addr(), worker.Fingerprint())
+	ctx, stop := cli.NotifyContext()
+	defer stop()
+	if err := worker.Serve(ctx, ln); err != nil {
+		fmt.Fprintln(os.Stderr, "shardworker:", err)
+		os.Exit(1)
+	}
+}
+
+func buildTask(dataset string, scale float64, seed int64, csvDir, target, attrs, posFile, negFile string) (autobias.Task, error) {
+	if dataset != "" {
+		ds, err := autobias.GenerateDataset(dataset, scale, seed)
+		if err != nil {
+			return autobias.Task{}, err
+		}
+		return autobias.TaskFromDataset(ds), nil
+	}
+	if csvDir == "" {
+		return autobias.Task{}, fmt.Errorf("need -dataset or -csv (with -target, -attrs, -pos, -neg)")
+	}
+	if target == "" || attrs == "" || posFile == "" || negFile == "" {
+		return autobias.Task{}, fmt.Errorf("-csv needs -target, -attrs, -pos and -neg")
+	}
+	d, err := autobias.LoadCSVDir(csvDir)
+	if err != nil {
+		return autobias.Task{}, err
+	}
+	pos, err := readExamples(posFile)
+	if err != nil {
+		return autobias.Task{}, err
+	}
+	neg, err := readExamples(negFile)
+	if err != nil {
+		return autobias.Task{}, err
+	}
+	return autobias.Task{
+		DB:          d,
+		Target:      target,
+		TargetAttrs: strings.Split(attrs, ","),
+		Pos:         pos,
+		Neg:         neg,
+	}, nil
+}
+
+func readExamples(path string) ([]autobias.Example, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []autobias.Example
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		e, err := autobias.ParseExample(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+func parseSampling(s string) (autobias.Sampling, error) {
+	switch s {
+	case "naive":
+		return autobias.SamplingNaive, nil
+	case "random":
+		return autobias.SamplingRandom, nil
+	case "stratified":
+		return autobias.SamplingStratified, nil
+	}
+	return autobias.SamplingNaive, fmt.Errorf("unknown sampling %q", s)
+}

@@ -1,0 +1,39 @@
+// Package benchenv captures the execution environment a benchmark run
+// was recorded under, in the field layout the committed BENCH_*.json
+// trajectory files use. Every new BENCH entry must carry this metadata
+// (go_version included — the toolchain moves performance as much as the
+// hardware does); benchmarks log Capture() so the numbers a run prints
+// arrive next to the environment that produced them.
+package benchenv
+
+import (
+	"encoding/json"
+	"runtime"
+)
+
+// Env is the environment block of one BENCH_*.json run entry.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+}
+
+// Capture reads the current process's environment.
+func Capture() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
+}
+
+// String renders the env as the JSON fragment to paste into a
+// BENCH_*.json entry.
+func (e Env) String() string {
+	b, _ := json.Marshal(e)
+	return string(b)
+}

@@ -1,0 +1,33 @@
+package benchenv
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCaptureFillsEveryField(t *testing.T) {
+	e := Capture()
+	if !strings.HasPrefix(e.GoVersion, "go") {
+		t.Errorf("GoVersion %q", e.GoVersion)
+	}
+	if e.NumCPU < 1 || e.GOMAXPROCS < 1 {
+		t.Errorf("NumCPU=%d GOMAXPROCS=%d", e.NumCPU, e.GOMAXPROCS)
+	}
+	if e.GOOS == "" || e.GOARCH == "" {
+		t.Errorf("GOOS=%q GOARCH=%q", e.GOOS, e.GOARCH)
+	}
+}
+
+func TestStringIsBenchJSONFragment(t *testing.T) {
+	var m map[string]any
+	if err := json.Unmarshal([]byte(Capture().String()), &m); err != nil {
+		t.Fatal(err)
+	}
+	// The keys the BENCH_*.json schema expects, exactly.
+	for _, k := range []string{"go_version", "num_cpu", "gomaxprocs", "goos", "goarch"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("fragment missing key %q", k)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package httpx
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestFailWritesEnvelopeAndRetryAfter(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Fail(rec, http.StatusServiceUnavailable, ErrCodeOverloaded, errors.New("too busy"))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	detail, ok := DecodeError(rec.Body.Bytes())
+	if !ok || detail.Code != ErrCodeOverloaded || detail.Message != "too busy" {
+		t.Errorf("decoded %+v ok=%v", detail, ok)
+	}
+
+	rec = httptest.NewRecorder()
+	Fail(rec, http.StatusBadRequest, ErrCodeBadRequest, errors.New("nope"))
+	if rec.Header().Get("Retry-After") != "" {
+		t.Error("non-503 carries Retry-After")
+	}
+}
+
+func TestDecodeErrorRejectsJunk(t *testing.T) {
+	for _, body := range []string{"", "not json", `{"error":{}}`, `{"ok":true}`} {
+		if _, ok := DecodeError([]byte(body)); ok {
+			t.Errorf("DecodeError accepted %q", body)
+		}
+	}
+}
+
+func TestCtxStatus(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		code   string
+		ok     bool
+	}{
+		{context.DeadlineExceeded, http.StatusGatewayTimeout, ErrCodeTimeout, true},
+		{context.Canceled, http.StatusServiceUnavailable, ErrCodeCancelled, true},
+		{fmt.Errorf("wrapped: %w", context.DeadlineExceeded), http.StatusGatewayTimeout, ErrCodeTimeout, true},
+		{errors.New("other"), 0, "", false},
+		{nil, 0, "", false},
+	}
+	for _, c := range cases {
+		status, code, ok := CtxStatus(c.err)
+		if status != c.status || code != c.code || ok != c.ok {
+			t.Errorf("CtxStatus(%v) = (%d, %q, %v), want (%d, %q, %v)", c.err, status, code, ok, c.status, c.code, c.ok)
+		}
+	}
+}
+
+func TestLimiter(t *testing.T) {
+	l := NewLimiter(0)
+	if l.Cap() != 64 {
+		t.Errorf("default cap %d, want 64", l.Cap())
+	}
+	l = NewLimiter(1)
+	if !l.Acquire(context.Background()) {
+		t.Fatal("first acquire failed")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if l.Acquire(ctx) {
+		t.Fatal("second acquire on a full limiter should wait until ctx gives up")
+	}
+	l.Release()
+	if !l.Acquire(context.Background()) {
+		t.Fatal("acquire after release failed")
+	}
+	l.Release()
+}
+
+func TestServeDrainsGracefully(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan struct{})
+	inflight := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /slow", func(w http.ResponseWriter, r *http.Request) {
+		close(inflight)
+		time.Sleep(50 * time.Millisecond)
+		WriteJSON(w, http.StatusOK, map[string]string{"status": "done"})
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() {
+		served <- Serve(ctx, ln, mux, time.Second, func() { close(drained) })
+	}()
+
+	// Start a request, begin the drain while it is in flight, and require
+	// both a clean shutdown and a completed response.
+	type result struct {
+		status int
+		err    error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			resCh <- result{0, err}
+			return
+		}
+		resp.Body.Close()
+		resCh <- result{resp.StatusCode, nil}
+	}()
+	<-inflight
+	cancel()
+
+	select {
+	case <-drained:
+	case <-time.After(2 * time.Second):
+		t.Fatal("onDrain never ran")
+	}
+	r := <-resCh
+	if r.err != nil || r.status != http.StatusOK {
+		t.Errorf("in-flight request during drain: status=%d err=%v", r.status, r.err)
+	}
+	if err := <-served; err != nil {
+		t.Errorf("Serve returned %v after a clean drain", err)
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, http.StatusTeapot, map[string]int{"n": 3})
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var out map[string]int
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out["n"] != 3 {
+		t.Errorf("body %q err %v", rec.Body.String(), err)
+	}
+}

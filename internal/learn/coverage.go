@@ -65,6 +65,15 @@ type CoverageEngine struct {
 	subOpts subsume.Options
 	workers int
 
+	// transport, when non-nil, computes Count/CountUpTo remotely (see
+	// transport.go); pureGround forces every ground-BC miss through the
+	// derived-seed clone path so BCs are order-independent pure
+	// functions of the example — required by transports, optional
+	// otherwise. Both are set before the engine runs (SetWorkers
+	// contract).
+	transport  CoverageTransport
+	pureGround bool
+
 	// in is the engine's intern table: predicate names and ground
 	// constants mapped to dense int32 ids for the subsumption compiler.
 	// Seeded deterministically from the task schema in NewCoverage,
@@ -289,8 +298,14 @@ func (ce *CoverageEngine) GroundBCCtx(ctx context.Context, e Example) (*logic.Cl
 // groundEntryCtx returns the cached (BC, compiled index) pair for the
 // example, building and compiling under buildMu on a miss — the
 // sequential prefetch pass funnels through here, so intern-table growth
-// and compilation order match the sequential engine exactly.
+// and compilation order match the sequential engine exactly. In pure
+// ground-BC mode every miss takes the derived-seed clone path instead:
+// the shared builder's RNG stream is never consumed, so the BC is the
+// same one any other process would build for this example.
 func (ce *CoverageEngine) groundEntryCtx(ctx context.Context, key string, e Example) (ent *GroundEntry, err error) {
+	if ce.pureGround {
+		return ce.groundEntryPooled(ctx, key, e)
+	}
 	if ent, ok := ce.cachedEntry(key); ok {
 		ce.mc.Inc(metrics.CoverageBCCacheHits)
 		return ent, nil
@@ -674,6 +689,21 @@ func (ce *CoverageEngine) countBounded(ctx context.Context, c *logic.Clause, exa
 			return 0, err
 		}
 	}
+	if ce.transport != nil {
+		n, err := ce.transport.CountUpTo(ctx, c, examples, limit)
+		if err != nil {
+			return 0, ce.abandoned(err, len(examples))
+		}
+		return n, nil
+	}
+	return ce.countLocal(ctx, c, examples, limit)
+}
+
+// countLocal is the in-process count: the sequential path at one
+// worker, the prefetch-then-fan-out pool otherwise. It is the engine
+// every transport degrades to, so it must never route back through the
+// transport.
+func (ce *CoverageEngine) countLocal(ctx context.Context, c *logic.Clause, examples []Example, limit int) (int, error) {
 	spanStart := ce.mc.StartSpan()
 	defer ce.mc.EndSpan(metrics.SpanCoverageCount, spanStart)
 	nw := ce.workers

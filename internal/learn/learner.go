@@ -58,6 +58,11 @@ type Options struct {
 	// threads it through the bottom builder, the coverage engine, and
 	// subsumption. Nil disables collection at zero cost.
 	Metrics *metrics.Collector
+	// PureGroundBCs forces derived-seed ground-BC provenance on the
+	// coverage engine (see CoverageEngine.SetPureGroundBCs). Distributed
+	// runs require it; single-process runs that will be compared against
+	// distributed ones must set it too.
+	PureGroundBCs bool
 }
 
 func (o Options) normalized() Options {
@@ -149,6 +154,7 @@ func New(d *db.Database, c *bias.Compiled, opts Options) *Learner {
 	builder := bottom.NewBuilder(d, c, opts.Bottom)
 	cover := NewCoverage(builder, opts.Subsume)
 	cover.SetWorkers(opts.Workers)
+	cover.SetPureGroundBCs(opts.PureGroundBCs)
 	if opts.Metrics != nil {
 		cover.SetMetrics(opts.Metrics)
 	}

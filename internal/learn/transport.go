@@ -1,0 +1,112 @@
+package learn
+
+import (
+	"context"
+
+	"repro/internal/logic"
+	"repro/internal/report"
+)
+
+// CoverageTransport computes bounded coverage counts on behalf of the
+// engine — the seam that lets the learner's hot loop (the per-example
+// θ-subsumption fan-out) run somewhere other than this process. The
+// in-process engine is the identity transport: SetTransport(nil) keeps
+// today's behaviour bit for bit.
+//
+// Contract (what a transport must guarantee so the learner's results
+// stay bit-identical to a single-process run):
+//
+//   - Verdicts are pure. The transport answers for examples whose
+//     ground BCs are built with derived-seed provenance (the engine
+//     runs in pure ground-BC mode when a transport is installed), so
+//     "clause c covers example e" is a function of (configuration,
+//     clause, example) — independent of which process computes it, in
+//     what order, or how many times (retries, hedges).
+//   - Every example is resolved. A CountUpTo call must produce a
+//     verdict for every requested example (no early exit at limit), so
+//     the engine's memo state after the call does not depend on
+//     scheduling. The returned count is min(covered, limit).
+//   - Verdicts flow back. The transport memoizes resolved verdicts on
+//     the engine (MemoizeRemote) so later per-example queries — the
+//     covering loop's positive removal, final accounting — reuse them
+//     instead of recomputing locally.
+//
+// Errors: a transport that cannot resolve its examples at all returns
+// an error wrapping context.Canceled, which the learner treats as a
+// graceful anytime cancellation (partial theory, degradation recorded)
+// rather than a hard failure.
+type CoverageTransport interface {
+	CountUpTo(ctx context.Context, c *logic.Clause, examples []Example, limit int) (int, error)
+}
+
+// SetTransport routes the engine's coverage counts (Count/CountUpTo and
+// their Ctx variants) through t; nil restores the in-process pool.
+// Installing a transport switches the engine to pure ground-BC
+// provenance (SetPureGroundBCs) — remote workers cannot share this
+// process's builder RNG stream, so every BC must be a derived-seed
+// clone product for verdicts to agree across processes. Must be called
+// before the engine runs tests (same contract as SetWorkers).
+func (ce *CoverageEngine) SetTransport(t CoverageTransport) {
+	ce.transport = t
+	if t != nil {
+		ce.SetPureGroundBCs(true)
+	}
+}
+
+// Transport returns the installed transport (nil = in-process).
+func (ce *CoverageEngine) Transport() CoverageTransport { return ce.transport }
+
+// SetPureGroundBCs forces every ground-BC cache miss through the
+// derived-seed clone path (the provenance BuildPooledEntry and the
+// serving layer already rely on): each BC becomes a pure function of
+// (options, example), independent of build order, instead of a product
+// of the shared builder's global RNG stream. Distributed runs require
+// it — and their single-process reference must set it too, since pure
+// and shared-builder provenance sample different (equally valid) BCs.
+// Must be set before any BC is built.
+func (ce *CoverageEngine) SetPureGroundBCs(on bool) { ce.pureGround = on }
+
+// PureGroundBCs reports whether pure ground-BC provenance is on.
+func (ce *CoverageEngine) PureGroundBCs() bool { return ce.pureGround }
+
+// CountUpToLocalCtx is CountUpToCtx pinned to the in-process engine,
+// bypassing any installed transport — the transport's own local
+// fallback calls this (routing through countBounded again would
+// recurse).
+func (ce *CoverageEngine) CountUpToLocalCtx(ctx context.Context, c *logic.Clause, examples []Example, limit int) (int, error) {
+	if limit < 0 {
+		limit = 0
+	}
+	return ce.countLocal(ctx, c, examples, limit)
+}
+
+// CoversLocalPooledCtx is CoversPooledCtx pinned to the in-process
+// engine: one example's verdict through the pooled (pure) BC path,
+// memoized. Transports use it to resolve stragglers locally.
+func (ce *CoverageEngine) CoversLocalPooledCtx(ctx context.Context, c *logic.Clause, e Example) (bool, error) {
+	return ce.covers(ctx, c, e, true)
+}
+
+// MemoizedCovers returns the memoized verdict for (c, example key), if
+// the pair has been resolved before. Transports consult it so examples
+// already settled — locally or by an earlier remote response — are
+// never re-shipped.
+func (ce *CoverageEngine) MemoizedCovers(c *logic.Clause, key string) (v, ok bool) {
+	ce.mu.RLock()
+	v, ok = ce.results[c][key]
+	ce.mu.RUnlock()
+	return v, ok
+}
+
+// MemoizeRemote records a remotely computed verdict for (c, example
+// key). Remote verdicts are pure (see CoverageTransport), so a
+// duplicate arrival — a retry and its hedge both landing — writes the
+// same value and the memo stays deterministic under any interleaving.
+func (ce *CoverageEngine) MemoizeRemote(c *logic.Clause, key string, v bool) {
+	ce.memoize(c, key, v)
+}
+
+// RecordEvent records a degradation event on the engine's report —
+// exported so transports report shard retries, failovers, and losses
+// into the same Result.Report the rest of the run uses.
+func (ce *CoverageEngine) RecordEvent(e report.Event) { ce.recordEvent(e) }

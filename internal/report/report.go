@@ -38,7 +38,29 @@ const (
 	// reported (sound-negative) "does not subsume". This is the paper's
 	// §5 approximation working as designed, counted for observability.
 	SubsumeBudget Kind = "subsume-budget-exhausted"
+	// ShardRetried: a coverage RPC to a shard worker failed and was
+	// retried (with backoff) or hedged. The retry succeeded somewhere, so
+	// the result is exact; recorded for observability.
+	ShardRetried Kind = "shard-rpc-retried"
+	// ShardFellBackLocal: every replica of a shard was unreachable, so
+	// its portion of a coverage count was computed in-process. The result
+	// is exact — only the distribution degraded.
+	ShardFellBackLocal Kind = "shard-fell-back-local"
+	// ShardLost: a shard (all replicas) died and local fallback was
+	// disabled; its example range could not be evaluated and the run was
+	// abandoned with a partial (anytime) theory.
+	ShardLost Kind = "shard-lost"
 )
+
+// exactKinds are degradations that never change a run's results: the
+// by-design subsumption approximation, and shard-transport recoveries
+// whose merge contract guarantees bit-identical outcomes. They do not
+// make a run Degraded.
+var exactKinds = map[Kind]bool{
+	SubsumeBudget:      true,
+	ShardRetried:       true,
+	ShardFellBackLocal: true,
+}
 
 // Event is one recorded degradation.
 type Event struct {
@@ -123,7 +145,7 @@ func (r *Report) Count(k Kind) int {
 }
 
 // Degraded reports whether the run recorded any degradation beyond the
-// by-design subsumption approximation.
+// kinds that provably leave results exact (see exactKinds).
 func (r *Report) Degraded() bool {
 	if r == nil {
 		return false
@@ -131,7 +153,7 @@ func (r *Report) Degraded() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for k, n := range r.counts {
-		if k != SubsumeBudget && n > 0 {
+		if !exactKinds[k] && n > 0 {
 			return true
 		}
 	}

@@ -40,6 +40,27 @@ func TestDegradedIgnoresSubsumeBudget(t *testing.T) {
 	}
 }
 
+func TestShardKindsExactness(t *testing.T) {
+	// ShardRetried and ShardFellBackLocal describe recoveries that leave
+	// the result exact; only losing a shard's examples degrades the run.
+	r := New()
+	r.Add(Event{Kind: ShardRetried, Site: "shard.rpc:2"})
+	r.Add(Event{Kind: ShardFellBackLocal, Site: "shard:1"})
+	if r.Degraded() {
+		t.Fatalf("exact shard recoveries must not mark the run degraded: %s", r.Summary())
+	}
+	r.Add(Event{Kind: ShardLost, Site: "shard:0"})
+	if !r.Degraded() {
+		t.Fatal("shard loss must mark the run degraded")
+	}
+	s := r.Summary()
+	for _, want := range []string{"shard-rpc-retried=1", "shard-fell-back-local=1", "shard-lost=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary %q missing %q", s, want)
+		}
+	}
+}
+
 func TestSummaryAndEventString(t *testing.T) {
 	r := New()
 	r.Add(Event{Kind: DeadlineHit, Site: "learn.Learn"})

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"testing"
+
+	"repro/internal/benchenv"
 )
 
 func person(i int) string { return fmt.Sprintf("p%03d", i) }
@@ -37,6 +39,7 @@ func benchExamples(batch int) []Example {
 // pin-or-evict path at CacheLimit=1, which paid the cold cost every
 // iteration; the ≥10x target compares hot cells against it.
 func BenchmarkPredictBatch(b *testing.B) {
+	b.Logf("env: %s", benchenv.Capture())
 	const people = 200
 	const batch = 64
 	d, art := chainWorld(b, people)

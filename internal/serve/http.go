@@ -8,8 +8,10 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/httpx"
 	"repro/internal/metrics"
 )
 
@@ -53,27 +55,38 @@ func (o ServerOptions) normalized() ServerOptions {
 	return o
 }
 
-// Server serves a registry over HTTP/JSON.
+// Server serves a registry over HTTP/JSON. The shared middleware —
+// structured error bodies, the global concurrency semaphore, graceful
+// drain — comes from internal/httpx, the substrate this layer and the
+// shard-worker service are both built on.
 type Server struct {
 	reg  *Registry
 	opts ServerOptions
-	sem  chan struct{}
+	lim  *httpx.Limiter
 	mux  *http.ServeMux
+
+	// draining flips when graceful shutdown begins; reloading counts
+	// in-flight reload sweeps. Both gate readiness: /readyz answers 503
+	// while either is set, so load balancers stop routing before the
+	// listener actually closes, and health checks see model rebinds.
+	draining  atomic.Bool
+	reloading atomic.Int32
 }
 
-// NewServer wires the registry's handlers onto one mux: health, model
-// listing and inspection, prediction, hot reload, a JSON metrics
-// snapshot, and the standard pprof endpoints (same mux, same port — one
-// process, one observability surface).
+// NewServer wires the registry's handlers onto one mux: liveness and
+// readiness, model listing and inspection, prediction, hot reload, a
+// JSON metrics snapshot, and the standard pprof endpoints (same mux,
+// same port — one process, one observability surface).
 func NewServer(reg *Registry, opts ServerOptions) *Server {
 	opts = opts.normalized()
 	s := &Server{
 		reg:  reg,
 		opts: opts,
-		sem:  make(chan struct{}, opts.MaxConcurrent),
+		lim:  httpx.NewLimiter(opts.MaxConcurrent),
 		mux:  http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("GET /v1/models/{name}", s.handleModel)
@@ -91,27 +104,10 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Serve accepts on ln until ctx is cancelled, then drains gracefully:
-// in-flight requests get DrainTimeout to finish before the listener's
-// error is returned. A clean drain returns nil.
+// readiness flips to 503 the moment the drain begins, and in-flight
+// requests get DrainTimeout to finish. A clean drain returns nil.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	hs := &http.Server{Handler: s.mux}
-	errCh := make(chan error, 1)
-	go func() { errCh <- hs.Serve(ln) }()
-	select {
-	case <-ctx.Done():
-		drainCtx, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
-		defer cancel()
-		if err := hs.Shutdown(drainCtx); err != nil {
-			return fmt.Errorf("serve: drain: %w", err)
-		}
-		<-errCh // always http.ErrServerClosed after Shutdown
-		return nil
-	case err := <-errCh:
-		if errors.Is(err, http.ErrServerClosed) {
-			return nil
-		}
-		return err
-	}
+	return httpx.Serve(ctx, ln, s.mux, s.opts.DrainTimeout, func() { s.draining.Store(true) })
 }
 
 // ListenAndServe binds addr and calls Serve.
@@ -123,49 +119,79 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	return s.Serve(ctx, ln)
 }
 
-// Error codes carried in structured error bodies. Stable strings:
-// clients branch on these, not on the human-readable message.
+// Error codes carried in structured error bodies — aliases of the
+// shared httpx vocabulary, kept here so existing callers keep compiling.
 const (
-	ErrCodeBadRequest    = "bad_request"
-	ErrCodeModelNotFound = "model_not_found"
-	ErrCodeBatchTooLarge = "batch_too_large"
-	ErrCodeOverloaded    = "overloaded"
-	ErrCodeTimeout       = "timeout"
-	ErrCodeCancelled     = "cancelled"
-	ErrCodeInternal      = "internal"
-	ErrCodeReload        = "reload_failed"
-	ErrCodeUnsupported   = "unsupported"
+	ErrCodeBadRequest    = httpx.ErrCodeBadRequest
+	ErrCodeModelNotFound = httpx.ErrCodeModelNotFound
+	ErrCodeBatchTooLarge = httpx.ErrCodeBatchTooLarge
+	ErrCodeOverloaded    = httpx.ErrCodeOverloaded
+	ErrCodeTimeout       = httpx.ErrCodeTimeout
+	ErrCodeCancelled     = httpx.ErrCodeCancelled
+	ErrCodeInternal      = httpx.ErrCodeInternal
+	ErrCodeReload        = httpx.ErrCodeReload
+	ErrCodeUnsupported   = httpx.ErrCodeUnsupported
+	ErrCodeNotReady      = httpx.ErrCodeNotReady
 )
 
-// errorBody is the structured error envelope:
-// {"error":{"code":"overloaded","message":"..."}}.
-type errorBody struct {
-	Error errorDetail `json:"error"`
-}
-
-type errorDetail struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
-
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	httpx.WriteJSON(w, status, v)
 }
 
-// fail writes a structured error. Load-shedding statuses (503) carry
-// Retry-After so well-behaved clients back off instead of hammering.
+// fail writes a structured error and counts it.
 func (s *Server) fail(w http.ResponseWriter, status int, code string, err error) {
 	s.opts.Metrics.Inc(metrics.ServeErrors)
-	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
-	}
-	s.writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: err.Error()}})
+	httpx.Fail(w, status, code, err)
 }
 
+// handleHealth is liveness: the process is up and can answer HTTP. It
+// stays 200 through reloads and drain — only process death fails it.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": s.reg.Len()})
+}
+
+// modelBindState is one model's entry in the readiness report.
+type modelBindState struct {
+	Name     string `json:"name"`
+	Version  int    `json:"version"`
+	Clauses  int    `json:"clauses"`
+	Degraded bool   `json:"degraded,omitempty"`
+	InFlight int    `json:"in_flight"`
+}
+
+// handleReady is readiness: 200 only when the server can take traffic.
+// It fails (503 + Retry-After) while draining or while a reload sweep
+// is rebinding models, and always reports per-model bind state so
+// orchestrators see what is actually being served.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	states := make([]modelBindState, 0, s.reg.Len())
+	for _, name := range s.reg.Names() {
+		m, ok := s.reg.Get(name)
+		if !ok {
+			continue
+		}
+		states = append(states, modelBindState{
+			Name:     m.Name(),
+			Version:  m.Version(),
+			Clauses:  m.def.Len(),
+			Degraded: m.art.Degraded,
+			InFlight: m.InFlight(),
+		})
+	}
+	body := map[string]any{"models": states}
+	switch {
+	case s.draining.Load():
+		body["status"] = "draining"
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, http.StatusServiceUnavailable, body)
+	case s.reloading.Load() > 0:
+		body["status"] = "reloading"
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, http.StatusServiceUnavailable, body)
+	default:
+		body["status"] = "ready"
+		s.writeJSON(w, http.StatusOK, body)
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -224,13 +250,17 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 
 // handleReload triggers a hot model reload (ReloadDir via the
 // configured hook) and reports what changed. Serving never pauses:
-// swapped models drain their old versions in the background.
+// swapped models drain their old versions in the background — but
+// readiness dips while the sweep runs, so rolling deploys wait for the
+// rebind to finish before routing fresh traffic.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Reload == nil {
 		s.fail(w, http.StatusNotImplemented, ErrCodeUnsupported, errors.New("no reload hook configured"))
 		return
 	}
+	s.reloading.Add(1)
 	rep, err := s.opts.Reload(r.Context())
+	s.reloading.Add(-1)
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, ErrCodeReload, err)
 		return
@@ -293,13 +323,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// Bounded concurrency: acquire a slot or give up when the caller
 	// does. Queued requests keep their full deadline — the timeout
 	// covers the work, the context covers the wait.
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
+	if !s.lim.Acquire(ctx) {
 		s.fail(w, http.StatusServiceUnavailable, ErrCodeOverloaded, fmt.Errorf("server at capacity: %w", ctx.Err()))
 		return
 	}
+	defer s.lim.Release()
 
 	verdicts, versions, err := s.reg.Predict(ctx, name, examples)
 	if err != nil {
@@ -309,10 +337,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			status, code = http.StatusNotFound, ErrCodeModelNotFound
 		case errors.Is(err, ErrOverloaded):
 			status, code = http.StatusServiceUnavailable, ErrCodeOverloaded
-		case errors.Is(err, context.DeadlineExceeded):
-			status, code = http.StatusGatewayTimeout, ErrCodeTimeout
-		case errors.Is(err, context.Canceled):
-			status, code = http.StatusServiceUnavailable, ErrCodeCancelled
+		default:
+			if st, c, ok := httpx.CtxStatus(err); ok {
+				status, code = st, c
+			}
 		}
 		s.fail(w, status, code, err)
 		return

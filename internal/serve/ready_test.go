@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestReadinessSplit covers the liveness/readiness distinction: /healthz
+// answers 200 for a live process unconditionally, while /readyz flips to
+// 503 + Retry-After the moment a drain or reload sweep begins — the
+// signal coordinators and load balancers route on.
+func TestReadinessSplit(t *testing.T) {
+	modelsDir := saveWorld(t)
+	reg, err := LoadDir(context.Background(), modelsDir, DefaultResolver(""), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reg, ServerOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&body)
+		return resp, body
+	}
+
+	resp, _ := get("/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	resp, body := get("/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz status %d: %v", resp.StatusCode, body)
+	}
+	if body["status"] != "ready" {
+		t.Errorf("readyz body %v", body)
+	}
+
+	// A draining server is still alive but no longer ready.
+	srv.draining.Store(true)
+	resp, _ = get("/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("draining healthz status %d, want 200 (liveness is not readiness)", resp.StatusCode)
+	}
+	resp, body = get("/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining readyz status %d, want 503: %v", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining readyz without Retry-After")
+	}
+	srv.draining.Store(false)
+
+	// Same for an in-flight reload sweep.
+	srv.reloading.Add(1)
+	resp, _ = get("/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("reloading readyz status %d, want 503", resp.StatusCode)
+	}
+	srv.reloading.Add(-1)
+	resp, _ = get("/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz did not recover after the reload sweep: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,129 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/benchenv"
+	"repro/internal/learn"
+	"repro/internal/logic"
+)
+
+// Benchmarks for the distributed coverage transport. The interesting
+// costs are per-RPC, not per-subsumption (BENCH_subsume.json owns that):
+// what one coverage round-trip costs against a memo-hot worker, what the
+// coordinator's local memo short-circuit costs, and what the full
+// coordinator fan-out adds on top of the raw RPC. Results are tracked in
+// BENCH_shard.json; each entry records benchenv.Capture().
+
+func benchFleet(b *testing.B) (*httptest.Server, *Worker) {
+	b.Helper()
+	engine := tinyEngine(b, 1)
+	w := NewWorker("bench", engine, "benchfp", WorkerOptions{})
+	srv := httptest.NewServer(w.Handler())
+	b.Cleanup(srv.Close)
+	return srv, w
+}
+
+func benchExamples() []learn.Example {
+	var out []learn.Example
+	for i := 0; i < 4; i++ {
+		out = append(out,
+			logic.NewLiteral("advisedBy", logic.Const(name("s", i)), logic.Const(name("p", i))),
+			logic.NewLiteral("advisedBy", logic.Const(name("s", i)), logic.Const(name("p", (i+1)%4))))
+	}
+	return out
+}
+
+func name(prefix string, i int) string {
+	return prefix + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+const benchClause = "advisedBy(A,B) :- publication(C,A), publication(C,B)"
+
+// BenchmarkWorkerRPC measures one HTTP coverage round-trip against a
+// memo-hot worker: transport + JSON codec + 8 memoized verdicts.
+func BenchmarkWorkerRPC(b *testing.B) {
+	b.Logf("env: %s", benchenv.Capture())
+	srv, _ := benchFleet(b)
+	var keys []string
+	for _, e := range benchExamples() {
+		keys = append(keys, e.String())
+	}
+	body, err := json.Marshal(CoverageRequest{Clause: benchClause, Examples: keys})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := srv.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(srv.URL+"/v1/coverage", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cr CoverageResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(cr.Covered) != len(keys) {
+			b.Fatalf("%d verdicts", len(cr.Covered))
+		}
+	}
+	b.ReportMetric(float64(len(keys))*float64(b.N)/b.Elapsed().Seconds(), "verdicts/sec")
+}
+
+// BenchmarkCoordinatorMemoHit measures a fully-memoized CountUpTo — the
+// steady-state cost of re-scoring a known candidate: no RPC at all.
+func BenchmarkCoordinatorMemoHit(b *testing.B) {
+	b.Logf("env: %s", benchenv.Capture())
+	srv, _ := benchFleet(b)
+	co, err := New(Options{Shards: [][]string{{srv.URL}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	co.Bind(tinyEngine(b, 1))
+	b.Cleanup(co.Close)
+	c := logic.MustParseClause(benchClause)
+	examples := benchExamples()
+	if _, err := co.CountUpTo(context.Background(), c, examples, len(examples)); err != nil {
+		b.Fatal(err) // warm the memo
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := co.CountUpTo(context.Background(), c, examples, len(examples)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(examples))*float64(b.N)/b.Elapsed().Seconds(), "verdicts/sec")
+}
+
+// BenchmarkCoordinatorRPC measures the full coordinator path — shard
+// grouping, RPC, merge, memoization — with a fresh clause pointer per
+// iteration so the coordinator memo never hits (the worker's does: its
+// clause cache is keyed by text).
+func BenchmarkCoordinatorRPC(b *testing.B) {
+	b.Logf("env: %s", benchenv.Capture())
+	srv, _ := benchFleet(b)
+	co, err := New(Options{Shards: [][]string{{srv.URL}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	co.Bind(tinyEngine(b, 1))
+	b.Cleanup(co.Close)
+	examples := benchExamples()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := logic.ParseClause(benchClause)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := co.CountUpTo(context.Background(), c, examples, len(examples)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(examples))*float64(b.N)/b.Elapsed().Seconds(), "verdicts/sec")
+}

@@ -1,0 +1,612 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/faultpoint"
+	"repro/internal/httpx"
+	"repro/internal/learn"
+	"repro/internal/logic"
+	"repro/internal/metrics"
+	"repro/internal/report"
+)
+
+// ErrShardsLost reports that a shard's examples could not be resolved
+// anywhere — every replica, every failover target, and (if enabled) the
+// local fallback are gone. It wraps context.Canceled so the learner's
+// anytime machinery treats total shard loss like a cancellation:
+// partial theory, degradation recorded, no hard failure.
+var ErrShardsLost = fmt.Errorf("shard: coverage shards lost: %w", context.Canceled)
+
+// downAfterFails is the consecutive-failure threshold before a replica
+// is benched: one transient blip retries in place, a dead process stops
+// receiving traffic after the second miss.
+const downAfterFails = 2
+
+// maxResponseBytes bounds how much of a worker response the coordinator
+// will read.
+const maxResponseBytes = 1 << 24
+
+// Options configures a Coordinator.
+type Options struct {
+	// Shards lists the worker fleet: Shards[i] holds the base URLs of
+	// shard i's replicas (any replica can answer for its shard; under
+	// failover any worker can answer for any shard — verdicts are pure).
+	Shards [][]string
+	// Fingerprint is the coordinator engine's config fingerprint
+	// (EngineFingerprint); sent on every RPC so misconfigured workers
+	// answer 409 instead of wrong verdicts. Empty disables the check.
+	Fingerprint string
+	// RequestTimeout bounds one RPC attempt; <=0 selects 10s.
+	RequestTimeout time.Duration
+	// Retries is the attempt budget per shard (first try included);
+	// <=0 selects 3.
+	Retries int
+	// RetryBackoff is the base delay before the first retry, doubled per
+	// attempt with up to 50% jitter and raised to the server's
+	// Retry-After when one was sent; <=0 selects 25ms.
+	RetryBackoff time.Duration
+	// HedgeDelay, when >0 and a shard has a second replica, fires a
+	// hedged duplicate of a straggling first attempt after this long;
+	// first answer wins. 0 disables hedging.
+	HedgeDelay time.Duration
+	// ReplicaCooldown is how long a benched replica sits out before a
+	// /readyz probe may revive it; <=0 selects 2s.
+	ReplicaCooldown time.Duration
+	// DisableLocalFallback turns off the last rung of the failover
+	// ladder. With it set, losing every worker aborts the run (anytime:
+	// partial theory) instead of degrading to in-process computation.
+	DisableLocalFallback bool
+	// JitterSeed seeds retry jitter; 0 selects 1. Jitter shifts
+	// wall-clock only — verdicts are pure, so results never depend on it.
+	JitterSeed int64
+	// Metrics, when non-nil, receives shard.* gauges.
+	Metrics *metrics.Collector
+	// Client, when non-nil, overrides the HTTP client (tests inject an
+	// httptest transport).
+	Client *http.Client
+}
+
+func (o Options) normalized() Options {
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.Retries <= 0 {
+		o.Retries = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 25 * time.Millisecond
+	}
+	if o.ReplicaCooldown <= 0 {
+		o.ReplicaCooldown = 2 * time.Second
+	}
+	if o.JitterSeed == 0 {
+		o.JitterSeed = 1
+	}
+	return o
+}
+
+// replica tracks one worker process's passive health.
+type replica struct {
+	url string
+
+	mu        sync.Mutex
+	fails     int
+	down      bool
+	downUntil time.Time
+}
+
+// noteFailure records a connection-level miss; downAfterFails
+// consecutive misses bench the replica for cooldown.
+func (r *replica) noteFailure(cooldown time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fails++
+	if r.fails >= downAfterFails {
+		r.down = true
+		r.downUntil = time.Now().Add(cooldown)
+	}
+}
+
+func (r *replica) noteSuccess() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fails = 0
+	r.down = false
+}
+
+// state reports whether the replica may receive traffic now, and — when
+// benched past its cooldown — whether a revival probe is due.
+func (r *replica) state(now time.Time) (available, probeDue bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.down {
+		return true, false
+	}
+	return false, now.After(r.downUntil)
+}
+
+// Coordinator partitions coverage counts across the worker fleet and
+// implements learn.CoverageTransport. One coordinator serves one
+// learning run's engine (Bind).
+type Coordinator struct {
+	opts   Options
+	client *http.Client
+	shards [][]*replica
+	engine *learn.CoverageEngine
+	mc     *metrics.Collector
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// New validates the fleet layout and returns a coordinator. Call Bind
+// to attach it to an engine, Close when the run is over.
+func New(opts Options) (*Coordinator, error) {
+	if len(opts.Shards) == 0 {
+		return nil, errors.New("shard: no shards configured")
+	}
+	for i, reps := range opts.Shards {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("shard: shard %d has no replicas", i)
+		}
+	}
+	opts = opts.normalized()
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	shards := make([][]*replica, len(opts.Shards))
+	for i, reps := range opts.Shards {
+		shards[i] = make([]*replica, len(reps))
+		for j, u := range reps {
+			shards[i][j] = &replica{url: u}
+		}
+	}
+	return &Coordinator{
+		opts:   opts,
+		client: client,
+		shards: shards,
+		mc:     opts.Metrics,
+		rng:    rand.New(rand.NewSource(opts.JitterSeed)),
+	}, nil
+}
+
+// Bind installs the coordinator as engine's coverage transport. The
+// engine switches to pure ground-BC provenance (SetTransport does it),
+// which is what makes every verdict location-independent.
+func (co *Coordinator) Bind(e *learn.CoverageEngine) {
+	co.engine = e
+	e.SetTransport(co)
+}
+
+// Shards returns the fleet's shard count.
+func (co *Coordinator) Shards() int { return len(co.shards) }
+
+// Close releases idle connections. Safe after a failed run.
+func (co *Coordinator) Close() { co.client.CloseIdleConnections() }
+
+type item struct {
+	e   learn.Example
+	key string
+}
+
+// CountUpTo implements learn.CoverageTransport: memo-resolved examples
+// are settled locally, the rest fan out to their home shards
+// concurrently, every returned verdict is memoized on the engine, and
+// per-shard counts merge by summation with a final clamp. Because
+// workers resolve every example they are sent and verdicts are pure,
+// the memo state and the returned min(covered, limit) are identical
+// under any interleaving of retries, hedges, and failovers — and
+// identical to a single-process pure-mode run.
+func (co *Coordinator) CountUpTo(ctx context.Context, c *logic.Clause, examples []learn.Example, limit int) (int, error) {
+	n := len(co.shards)
+	groups := make([][]item, n)
+	covered := 0
+	for _, e := range examples {
+		key := e.String()
+		if v, ok := co.engine.MemoizedCovers(c, key); ok {
+			co.mc.AddNamedGauge("shard.memo_hits", 1)
+			if v {
+				covered++
+			}
+			continue
+		}
+		s := shardFor(key, n)
+		groups[s] = append(groups[s], item{e: e, key: key})
+	}
+	clauseText := c.String()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for s, grp := range groups {
+		if len(grp) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, grp []item) {
+			defer wg.Done()
+			verdicts, err := co.resolveShard(ctx, c, s, clauseText, grp)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			for j, v := range verdicts {
+				co.engine.MemoizeRemote(c, grp[j].key, v)
+				if v {
+					covered++
+				}
+			}
+		}(s, grp)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	if covered > limit {
+		covered = limit
+	}
+	return covered, nil
+}
+
+// resolveShard walks the failover ladder for one shard's examples:
+// home replicas (with retries and hedging) → surviving shards in
+// deterministic rotation → local in-process fallback → ErrShardsLost.
+func (co *Coordinator) resolveShard(ctx context.Context, c *logic.Clause, s int, clauseText string, grp []item) ([]bool, error) {
+	keys := make([]string, len(grp))
+	for j, it := range grp {
+		keys[j] = it.key
+	}
+	req := CoverageRequest{Clause: clauseText, Examples: keys}
+
+	verdicts, err := co.tryShard(ctx, s, req)
+	if err == nil {
+		return verdicts, nil
+	}
+	if isFatal(err) {
+		return nil, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+
+	// The home shard is gone; its range re-assigns to survivors. Any
+	// worker can answer for any shard — verdicts are pure functions of
+	// (config, clause, example) — the home shard was only a cache
+	// affinity.
+	for d := 1; d < len(co.shards); d++ {
+		t := (s + d) % len(co.shards)
+		verdicts, ferr := co.tryShard(ctx, t, req)
+		if ferr == nil {
+			co.mc.AddNamedGauge("shard.failover", 1)
+			co.engine.RecordEvent(report.Event{
+				Kind:   report.ShardRetried,
+				Site:   fmt.Sprintf("shard.failover:%d->%d", s, t),
+				Detail: err.Error(),
+			})
+			return verdicts, nil
+		}
+		if isFatal(ferr) {
+			return nil, ferr
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+	}
+
+	if !co.opts.DisableLocalFallback {
+		co.mc.AddNamedGauge("shard.fallback_local", 1)
+		co.engine.RecordEvent(report.Event{
+			Kind:   report.ShardFellBackLocal,
+			Site:   fmt.Sprintf("shard:%d", s),
+			Detail: fmt.Sprintf("%d examples computed in-process: %v", len(grp), err),
+		})
+		verdicts := make([]bool, len(grp))
+		for j, it := range grp {
+			v, lerr := co.engine.CoversLocalPooledCtx(ctx, c, it.e)
+			if lerr != nil {
+				return nil, lerr
+			}
+			verdicts[j] = v
+		}
+		return verdicts, nil
+	}
+
+	co.mc.AddNamedGauge("shard.lost", 1)
+	co.engine.RecordEvent(report.Event{
+		Kind:   report.ShardLost,
+		Site:   fmt.Sprintf("shard:%d", s),
+		Detail: fmt.Sprintf("%d examples unresolvable: %v", len(grp), err),
+	})
+	return nil, fmt.Errorf("shard %d: every replica and failover target unreachable (%v): %w", s, err, ErrShardsLost)
+}
+
+// tryShard exhausts one shard's replicas: first attempt (hedged when
+// configured), then retries with exponential backoff + jitter, honoring
+// Retry-After from load-shedding workers. Returns the last error when
+// the attempt budget runs out.
+func (co *Coordinator) tryShard(ctx context.Context, target int, req CoverageRequest) ([]bool, error) {
+	reps := co.healthy(target)
+	if len(reps) == 0 {
+		return nil, fmt.Errorf("shard %d: no healthy replicas", target)
+	}
+	var (
+		lastErr    error
+		retryAfter time.Duration
+	)
+	for a := 0; a < co.opts.Retries; a++ {
+		if a > 0 {
+			co.mc.AddNamedGauge("shard.rpc_retried", 1)
+			co.engine.RecordEvent(report.Event{
+				Kind:   report.ShardRetried,
+				Site:   fmt.Sprintf("shard.rpc:%d", target),
+				Detail: lastErr.Error(),
+			})
+			if err := co.sleep(ctx, co.backoffDelay(a-1, retryAfter)); err != nil {
+				return nil, err
+			}
+		}
+		rep := reps[a%len(reps)]
+		var (
+			verdicts []bool
+			err      error
+		)
+		if a == 0 && co.opts.HedgeDelay > 0 && len(reps) > 1 {
+			verdicts, retryAfter, err = co.sendHedged(ctx, target, rep, reps[1], req)
+		} else {
+			verdicts, retryAfter, err = co.send(ctx, target, rep, req, false)
+		}
+		if err == nil {
+			return verdicts, nil
+		}
+		if isFatal(err) {
+			return nil, err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// healthy returns the shard's replicas currently eligible for traffic.
+// A benched replica whose cooldown expired gets a /readyz probe first —
+// traffic only returns to processes that claim readiness (and whose
+// fingerprint still matches).
+func (co *Coordinator) healthy(target int) []*replica {
+	now := time.Now()
+	var out []*replica
+	for _, r := range co.shards[target] {
+		available, probeDue := r.state(now)
+		switch {
+		case available:
+			out = append(out, r)
+		case probeDue && co.probeReady(r):
+			r.noteSuccess()
+			out = append(out, r)
+		default:
+			// still benched
+		}
+	}
+	return out
+}
+
+// probeReady asks a benched replica's /readyz whether it may rejoin.
+func (co *Coordinator) probeReady(r *replica) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), co.opts.RequestTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := co.client.Do(hreq)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	if co.opts.Fingerprint != "" {
+		var ready struct {
+			Fingerprint string `json:"fingerprint"`
+		}
+		if err := json.Unmarshal(data, &ready); err != nil || ready.Fingerprint != co.opts.Fingerprint {
+			return false
+		}
+	}
+	return true
+}
+
+// fatalError marks failures that retrying cannot fix (409 config
+// mismatch); they abort the run instead of walking the failover ladder.
+type fatalError struct{ error }
+
+func isFatal(err error) bool {
+	var fe fatalError
+	return errors.As(err, &fe)
+}
+
+// send performs one coverage RPC attempt against one replica. The
+// hedge flag selects the faultpoint site family — hedges fire on
+// wall-clock timers, so they must never consume hit windows tests arm
+// on the deterministic primary-send sites.
+func (co *Coordinator) send(ctx context.Context, target int, rep *replica, req CoverageRequest, hedge bool) ([]bool, time.Duration, error) {
+	site := "shard.rpc.send"
+	if hedge {
+		site = "shard.rpc.hedge"
+	}
+	if err := faultpoint.Inject(ctx, site); err != nil {
+		rep.noteFailure(co.opts.ReplicaCooldown)
+		return nil, 0, fmt.Errorf("shard %d: send %s: %w", target, rep.url, err)
+	}
+	if err := faultpoint.Inject(ctx, fmt.Sprintf("%s:%d", site, target)); err != nil {
+		rep.noteFailure(co.opts.ReplicaCooldown)
+		return nil, 0, fmt.Errorf("shard %d: send %s: %w", target, rep.url, err)
+	}
+	co.mc.AddNamedGauge("shard.rpc_sent", 1)
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("shard %d: marshal: %w", target, err)
+	}
+	attemptCtx, cancel := context.WithTimeout(ctx, co.opts.RequestTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(attemptCtx, http.MethodPost, rep.url+"/v1/coverage", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, fmt.Errorf("shard %d: request: %w", target, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if co.opts.Fingerprint != "" {
+		hreq.Header.Set(FingerprintHeader, co.opts.Fingerprint)
+	}
+	resp, err := co.client.Do(hreq)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, 0, cerr
+		}
+		rep.noteFailure(co.opts.ReplicaCooldown)
+		return nil, 0, fmt.Errorf("shard %d: %s: %w", target, rep.url, err)
+	}
+	defer resp.Body.Close()
+	if err := faultpoint.Inject(ctx, "shard.rpc.recv"); err != nil {
+		rep.noteFailure(co.opts.ReplicaCooldown)
+		return nil, 0, fmt.Errorf("shard %d: recv %s: %w", target, rep.url, err)
+	}
+	if err := faultpoint.Inject(ctx, fmt.Sprintf("shard.rpc.recv:%d", target)); err != nil {
+		rep.noteFailure(co.opts.ReplicaCooldown)
+		return nil, 0, fmt.Errorf("shard %d: recv %s: %w", target, rep.url, err)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		rep.noteFailure(co.opts.ReplicaCooldown)
+		return nil, 0, fmt.Errorf("shard %d: read %s: %w", target, rep.url, err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var cr CoverageResponse
+		if err := json.Unmarshal(data, &cr); err != nil {
+			return nil, 0, fmt.Errorf("shard %d: decode %s: %w", target, rep.url, err)
+		}
+		if len(cr.Covered) != len(req.Examples) {
+			return nil, 0, fmt.Errorf("shard %d: %s answered %d verdicts for %d examples", target, rep.url, len(cr.Covered), len(req.Examples))
+		}
+		rep.noteSuccess()
+		return cr.Covered, 0, nil
+	case http.StatusConflict:
+		detail, _ := httpx.DecodeError(data)
+		return nil, 0, fatalError{fmt.Errorf("shard %d: %s: config mismatch: %s", target, rep.url, detail.Message)}
+	case http.StatusServiceUnavailable:
+		// Load shedding, not death: honor Retry-After, do not bench.
+		var ra time.Duration
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ra = time.Duration(secs) * time.Second
+		}
+		detail, _ := httpx.DecodeError(data)
+		return nil, ra, fmt.Errorf("shard %d: %s overloaded: %s", target, rep.url, detail.Message)
+	default:
+		rep.noteFailure(co.opts.ReplicaCooldown)
+		if detail, ok := httpx.DecodeError(data); ok {
+			return nil, 0, fmt.Errorf("shard %d: %s: %s: %s", target, rep.url, detail.Code, detail.Message)
+		}
+		return nil, 0, fmt.Errorf("shard %d: %s: status %d", target, rep.url, resp.StatusCode)
+	}
+}
+
+// sendHedged races a primary attempt against a hedge fired after
+// HedgeDelay: first answer wins, the loser's context is cancelled. A
+// primary failure before the timer returns immediately — the retry
+// ladder, not the hedge, handles hard failures.
+func (co *Coordinator) sendHedged(ctx context.Context, target int, primary, secondary *replica, req CoverageRequest) ([]bool, time.Duration, error) {
+	type result struct {
+		v   []bool
+		ra  time.Duration
+		err error
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan result, 2)
+	go func() {
+		v, ra, err := co.send(hctx, target, primary, req, false)
+		ch <- result{v, ra, err}
+	}()
+	timer := time.NewTimer(co.opts.HedgeDelay)
+	defer timer.Stop()
+	outstanding := 1
+	launched := false
+	var (
+		firstErr   error
+		retryAfter time.Duration
+	)
+	for outstanding > 0 {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				return r.v, r.ra, nil
+			}
+			if isFatal(r.err) {
+				return nil, 0, r.err
+			}
+			if firstErr == nil {
+				firstErr = r.err
+				retryAfter = r.ra
+			}
+		case <-timer.C:
+			if !launched {
+				launched = true
+				outstanding++
+				co.mc.AddNamedGauge("shard.rpc_hedged", 1)
+				go func() {
+					v, ra, err := co.send(hctx, target, secondary, req, true)
+					ch <- result{v, ra, err}
+				}()
+			}
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
+	}
+	return nil, retryAfter, firstErr
+}
+
+// backoffDelay computes the nth retry's wait: base·2ⁿ plus up to 50%
+// jitter, raised to the server's Retry-After when one was sent.
+func (co *Coordinator) backoffDelay(n int, retryAfter time.Duration) time.Duration {
+	d := co.opts.RetryBackoff << uint(n)
+	co.rngMu.Lock()
+	jitter := time.Duration(co.rng.Int63n(int64(d)/2 + 1))
+	co.rngMu.Unlock()
+	d += jitter
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+func (co *Coordinator) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,95 @@
+// Package shard distributes the learner's hot loop — the per-example
+// θ-subsumption coverage fan-out that dominates learning cost (paper
+// §5) — across processes that are allowed to fail.
+//
+// A Coordinator installs itself as the engine's CoverageTransport and
+// partitions every coverage count's examples into N shards by stable
+// example-key hash, so each shard worker's ground-BC cache stays hot
+// for its own range. A Worker is an HTTP service (built on the
+// internal/httpx substrate: concurrency caps, timeouts, structured
+// errors, graceful drain) wrapping a coverage engine configured
+// identically to the coordinator's — identical bias, bottom-clause
+// options, subsumption options, and derived-seed ("pure") ground-BC
+// provenance, enforced by a config fingerprint on every request.
+//
+// The merge contract: because every BC is a derived-seed clone product
+// and every subsumption test is pure, a verdict is a function of
+// (configuration, clause, example) — independent of which process
+// computes it, in what order, or how many times. Workers resolve every
+// example of a request (no early exit at the count limit), the
+// coordinator memoizes every verdict it receives, and per-shard counts
+// merge by summation with a final clamp — min(Σcᵢ, limit) — so
+// theories and decision-driving counters are bit-identical to a
+// single-process pure-mode run under any interleaving of retries,
+// hedges, and failovers. See DESIGN.md §13.
+//
+// Failure model: per-attempt timeouts with exponential backoff + jitter
+// honoring Retry-After; hedged requests for stragglers; passive replica
+// health tracking with /readyz revival probes; automatic re-assignment
+// of a dead shard's example range to surviving shards; and graceful
+// degradation to in-process computation when every worker is gone.
+// Every recovery is recorded in the run's Result.Report
+// (ShardRetried / ShardFellBackLocal / ShardLost) and surfaced as
+// shard.* metrics. Fault injection sites: shard.rpc.send[:<shard>],
+// shard.rpc.recv[:<shard>], shard.rpc.hedge[:<shard>] on the
+// coordinator, shard.crash[:<id>] in the worker handler.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/learn"
+)
+
+// FingerprintHeader carries the coordinator's config fingerprint on
+// every coverage RPC; a worker bound to a different configuration
+// answers 409 config_mismatch instead of silently returning verdicts
+// from the wrong universe.
+const FingerprintHeader = "X-Shard-Fingerprint"
+
+// CoverageRequest is one shard RPC: a candidate clause and the examples
+// (ground target literals, string form) whose coverage it should test.
+// The count limit deliberately does not travel: workers resolve every
+// example so the coordinator's memo state is interleaving-independent.
+type CoverageRequest struct {
+	Clause   string   `json:"clause"`
+	Examples []string `json:"examples"`
+}
+
+// CoverageResponse carries positionally aligned verdicts plus the
+// worker's subsumption-test count for the request (observability only).
+type CoverageResponse struct {
+	Covered []bool `json:"covered"`
+	Tests   int64  `json:"tests"`
+}
+
+// EngineFingerprint hashes everything that determines a coverage
+// verdict — the schema fingerprint, the bias text, and the engine's
+// effective bottom-clause and subsumption options (post-normalization,
+// read back from the engine so coordinator and worker hash the values
+// actually in force) plus the BC provenance mode. Two engines with
+// equal fingerprints return equal verdicts for every (clause, example).
+func EngineFingerprint(e *learn.CoverageEngine, schemaFingerprint, biasText string) string {
+	b := e.Builder().Options()
+	s := e.SubsumeOptions()
+	h := sha256.New()
+	fmt.Fprintf(h, "schema=%s\nbias=%s\nbottom=%s/%d/%d/%d/%d\nsubsume=%d/%d/%d\npure=%v\n",
+		schemaFingerprint, biasText,
+		b.Strategy, b.Depth, b.SampleSize, b.MaxLiterals, b.Seed,
+		s.MaxNodes, s.Restarts, s.Seed,
+		e.PureGroundBCs())
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// shardFor assigns an example key to a shard. The mapping is a pure
+// function of the key (FNV-1a mod N), so an example lands on the same
+// shard in every request of a run and across runs — that is what keeps
+// each worker's ground-BC cache hot for its range.
+func shardFor(key string, n int) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(n))
+}

@@ -1,0 +1,248 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultpoint"
+	"repro/internal/httpx"
+	"repro/internal/learn"
+	"repro/internal/logic"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+// WorkerOptions configures a shard-worker service.
+type WorkerOptions struct {
+	// MaxConcurrent bounds in-flight coverage requests; <=0 selects the
+	// httpx limiter default (64).
+	MaxConcurrent int
+	// MaxBatch caps examples per request; <=0 selects 4096.
+	MaxBatch int
+	// RequestTimeout bounds one coverage request's work; <=0 selects 30s.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown; <=0 selects the httpx
+	// default (10s).
+	DrainTimeout time.Duration
+	// Metrics, when non-nil, receives shard.worker.* gauges and the
+	// engine's counters for the /metrics endpoint.
+	Metrics *metrics.Collector
+}
+
+func (o WorkerOptions) normalized() WorkerOptions {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 4096
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// Worker is one shard-worker service: a coverage engine behind the
+// httpx substrate. It answers POST /v1/coverage with pure per-example
+// verdicts (every example resolved, no count limit — see the package
+// comment's merge contract), GET /healthz (liveness: the process is
+// up), GET /readyz (readiness: not draining; reports fingerprint and
+// cache heat so the coordinator's revival probe can check config
+// parity), and GET /metrics.
+type Worker struct {
+	id     string
+	engine *learn.CoverageEngine
+	fp     string
+	opts   WorkerOptions
+	lim    *httpx.Limiter
+	mux    *http.ServeMux
+
+	draining atomic.Bool
+
+	mu       sync.Mutex
+	clauses  map[string]*logic.Clause
+	examples map[string]learn.Example
+}
+
+// NewWorker wraps engine as shard worker id. The engine must be built
+// from the same task and options as the coordinator's (fingerprint fp
+// proves it) and must be in pure ground-BC mode — NewWorker enforces
+// the latter itself.
+func NewWorker(id string, engine *learn.CoverageEngine, fp string, opts WorkerOptions) *Worker {
+	engine.SetPureGroundBCs(true)
+	w := &Worker{
+		id:       id,
+		engine:   engine,
+		fp:       fp,
+		opts:     opts.normalized(),
+		lim:      httpx.NewLimiter(opts.MaxConcurrent),
+		clauses:  make(map[string]*logic.Clause),
+		examples: make(map[string]learn.Example),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/coverage", w.handleCoverage)
+	mux.HandleFunc("GET /healthz", w.handleHealth)
+	mux.HandleFunc("GET /readyz", w.handleReady)
+	mux.HandleFunc("GET /metrics", w.handleMetrics)
+	w.mux = mux
+	return w
+}
+
+// Handler returns the worker's routed handler (for tests that mount it
+// on an httptest server).
+func (w *Worker) Handler() http.Handler { return w.mux }
+
+// Fingerprint returns the config fingerprint the worker was bound with.
+func (w *Worker) Fingerprint() string { return w.fp }
+
+// Serve accepts on ln until ctx is cancelled, then drains gracefully —
+// /readyz flips to 503 the moment the drain begins, while in-flight
+// coverage requests get DrainTimeout to finish.
+func (w *Worker) Serve(ctx context.Context, ln net.Listener) error {
+	return httpx.Serve(ctx, ln, w.mux, w.opts.DrainTimeout, func() { w.draining.Store(true) })
+}
+
+// parseClause resolves clause text to a canonical *logic.Clause. The
+// cache matters beyond speed: the engine's verdict memo is keyed by
+// clause pointer, so stable pointers make repeat tests of the same
+// candidate (beam re-scoring, retried RPCs) memo hits.
+func (w *Worker) parseClause(s string) (*logic.Clause, error) {
+	w.mu.Lock()
+	c, ok := w.clauses[s]
+	w.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	c, err := logic.ParseClause(s)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	if prev, ok := w.clauses[s]; ok {
+		c = prev // first parse wins; keep pointers canonical
+	} else {
+		w.clauses[s] = c
+	}
+	w.mu.Unlock()
+	return c, nil
+}
+
+func (w *Worker) parseExample(s string) (learn.Example, error) {
+	w.mu.Lock()
+	e, ok := w.examples[s]
+	w.mu.Unlock()
+	if ok {
+		return e, nil
+	}
+	e, err := model.ParseExample(s)
+	if err != nil {
+		return learn.Example{}, err
+	}
+	w.mu.Lock()
+	w.examples[s] = e
+	w.mu.Unlock()
+	return e, nil
+}
+
+func (w *Worker) handleCoverage(rw http.ResponseWriter, r *http.Request) {
+	// Fault sites for chaos tests: a fault here stands in for a worker
+	// that dies mid-request (the multi-process smoke test kills for
+	// real). The error answer is 500, which coordinators treat as "this
+	// replica is gone" — retry, fail over, or fall back.
+	if err := faultpoint.Inject(r.Context(), "shard.crash"); err != nil {
+		httpx.Fail(rw, http.StatusInternalServerError, httpx.ErrCodeInternal, err)
+		return
+	}
+	if err := faultpoint.Inject(r.Context(), "shard.crash:"+w.id); err != nil {
+		httpx.Fail(rw, http.StatusInternalServerError, httpx.ErrCodeInternal, err)
+		return
+	}
+	if got := r.Header.Get(FingerprintHeader); got != "" && got != w.fp {
+		httpx.Fail(rw, http.StatusConflict, httpx.ErrCodeConfigMismatch,
+			fmt.Errorf("shard %s: coordinator fingerprint %s != worker %s (different task/options?)", w.id, got, w.fp))
+		return
+	}
+	if !w.lim.Acquire(r.Context()) {
+		httpx.Fail(rw, http.StatusServiceUnavailable, httpx.ErrCodeOverloaded,
+			fmt.Errorf("shard %s: %d requests in flight", w.id, w.lim.Cap()))
+		return
+	}
+	defer w.lim.Release()
+
+	var req CoverageRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		httpx.Fail(rw, http.StatusBadRequest, httpx.ErrCodeBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.Examples) > w.opts.MaxBatch {
+		httpx.Fail(rw, http.StatusRequestEntityTooLarge, httpx.ErrCodeBatchTooLarge,
+			fmt.Errorf("%d examples exceeds max batch %d", len(req.Examples), w.opts.MaxBatch))
+		return
+	}
+	c, err := w.parseClause(req.Clause)
+	if err != nil {
+		httpx.Fail(rw, http.StatusBadRequest, httpx.ErrCodeBadRequest, err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), w.opts.RequestTimeout)
+	defer cancel()
+
+	before := w.engine.TestCount()
+	covered := make([]bool, len(req.Examples))
+	for i, es := range req.Examples {
+		e, err := w.parseExample(es)
+		if err != nil {
+			httpx.Fail(rw, http.StatusBadRequest, httpx.ErrCodeBadRequest, fmt.Errorf("example %d: %w", i, err))
+			return
+		}
+		v, err := w.engine.CoversLocalPooledCtx(ctx, c, e)
+		if err != nil {
+			if status, code, ok := httpx.CtxStatus(err); ok {
+				httpx.Fail(rw, status, code, err)
+				return
+			}
+			httpx.Fail(rw, http.StatusInternalServerError, httpx.ErrCodeInternal, err)
+			return
+		}
+		covered[i] = v
+	}
+	mc := w.opts.Metrics
+	mc.AddNamedGauge("shard.worker.requests", 1)
+	mc.AddNamedGauge("shard.worker.examples", int64(len(req.Examples)))
+	httpx.WriteJSON(rw, http.StatusOK, CoverageResponse{
+		Covered: covered,
+		Tests:   int64(w.engine.TestCount() - before),
+	})
+}
+
+func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
+	httpx.WriteJSON(rw, http.StatusOK, map[string]any{"status": "ok", "shard": w.id})
+}
+
+func (w *Worker) handleReady(rw http.ResponseWriter, r *http.Request) {
+	if w.draining.Load() {
+		httpx.Fail(rw, http.StatusServiceUnavailable, httpx.ErrCodeNotReady,
+			errors.New("shard "+w.id+": draining"))
+		return
+	}
+	httpx.WriteJSON(rw, http.StatusOK, map[string]any{
+		"status":      "ready",
+		"shard":       w.id,
+		"fingerprint": w.fp,
+		"cached_bcs":  w.engine.CachedBCs(),
+	})
+}
+
+func (w *Worker) handleMetrics(rw http.ResponseWriter, r *http.Request) {
+	if w.opts.Metrics == nil {
+		httpx.WriteJSON(rw, http.StatusOK, map[string]any{})
+		return
+	}
+	httpx.WriteJSON(rw, http.StatusOK, w.opts.Metrics.Snapshot())
+}
