@@ -203,6 +203,58 @@ func BenchmarkParallelCoverage(b *testing.B) {
 	}
 }
 
+// BenchmarkCoverageProcsMatrix is the multi-core scaling matrix for the
+// same hot path: the worker pool is held at a fixed size while
+// GOMAXPROCS is pinned to 1/4/8 per cell, so the only variable is how
+// many cores the runtime may actually schedule the pool onto. Results
+// append to BENCH_coverage.json (gomaxprocs field) next to the
+// workers-dimension cells.
+func BenchmarkCoverageProcsMatrix(b *testing.B) {
+	const poolWorkers = 8
+	for _, dataset := range []string{"uw", "imdb"} {
+		task := taskFor(b, dataset)
+		bs, _, err := BuildBias(task, Options{Method: MethodAutoBias})
+		if err != nil {
+			b.Fatal(err)
+		}
+		compiled, err := bs.Compile(task.DB.Schema(), task.Target, len(task.TargetAttrs))
+		if err != nil {
+			b.Fatal(err)
+		}
+		examples := append(append([]Example(nil), task.Pos...), task.Neg...)
+		b.Run(dataset, func(b *testing.B) {
+			benchenv.RunProcs(b, benchenv.MatrixProcs(), func(b *testing.B) {
+				b.Logf("env: %s", benchenv.Capture())
+				builder := bottom.NewBuilder(task.DB, compiled, bottom.Options{})
+				ce := learn.NewCoverage(builder, subsume.Options{})
+				ce.SetWorkers(poolWorkers)
+				cand, err := builder.Construct(task.Pos[0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				cand = cand.PruneNotHeadConnected()
+				covered, err := ce.Count(cand, examples) // warm the BC cache
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c := &logic.Clause{Head: cand.Head, Body: cand.Body}
+					n, err := ce.Count(c, examples)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if n != covered {
+						b.Fatalf("coverage diverged: %d != %d", n, covered)
+					}
+				}
+				b.ReportMetric(float64(covered), "covered")
+				b.ReportMetric(float64(len(examples)), "examples")
+			})
+		})
+	}
+}
+
 // --- Figure 1: the type graph ---------------------------------------------
 
 func BenchmarkFigure1TypeGraph(b *testing.B) {

@@ -11,6 +11,11 @@
 //	autobias -csv ./uwdata/db -target advisedBy -attrs stud,prof \
 //	         -pos ./uwdata/pos.txt -neg ./uwdata/neg.txt
 //
+// At large scales (-scale 26 on imdb is ~1M tuples, validated by the
+// stress suite) pass -stream: tuples then go straight to the CSV files
+// through a fixed-size write buffer per relation instead of
+// materializing the whole database in memory first.
+//
 // Exit codes: 0 success, 1 error, 3 interrupted (Ctrl-C; the output
 // directory may be incomplete and should be discarded).
 package main
@@ -25,6 +30,8 @@ import (
 
 	autobias "repro"
 	"repro/internal/cli"
+	"repro/internal/datagen"
+	"repro/internal/db"
 	"repro/internal/metrics"
 )
 
@@ -33,6 +40,7 @@ func main() {
 	scale := flag.Float64("scale", 1, "dataset scale factor")
 	seed := flag.Int64("seed", 1, "generation seed")
 	out := flag.String("out", "", "output directory (default ./<dataset>-data)")
+	stream := flag.Bool("stream", false, "stream tuples to the CSV files during generation (memory-bounded; use for large -scale)")
 	metricsOut := flag.String("metrics", "", "write generation instrumentation (datagen.generate span) to this JSON file")
 	flag.Parse()
 
@@ -46,7 +54,7 @@ func main() {
 	}
 	ctx, stop := cli.NotifyContext()
 	defer stop()
-	if err := run(ctx, *dataset, *scale, *seed, dir, mc); err != nil {
+	if err := run(ctx, *dataset, *scale, *seed, dir, *stream, mc); err != nil {
 		if ctx.Err() != nil {
 			fmt.Fprintf(os.Stderr, "datasetgen: interrupted; %s is incomplete, discard it\n", dir)
 			os.Exit(3)
@@ -60,18 +68,48 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, dataset string, scale float64, seed int64, dir string, mc *autobias.MetricsCollector) error {
+func run(ctx context.Context, dataset string, scale float64, seed int64, dir string, stream bool, mc *autobias.MetricsCollector) error {
+	var ds *autobias.Dataset
+	var tuples int64
+	var relations int
 	spanStart := mc.StartSpan()
-	ds, err := autobias.GenerateDataset(dataset, scale, seed)
-	if err != nil {
-		return err
+	if stream {
+		// Streamed path: tuples go to the CSV files as they are drawn;
+		// nothing but the per-relation write buffers (and the generator's
+		// dedup hashes) stays resident, so -scale is bounded by disk, not
+		// memory.
+		var w *db.CSVStreamWriter
+		var err error
+		ds, err = datagen.GenerateTo(dataset, datagen.Config{Scale: scale, Seed: seed},
+			func(s *db.Schema) (datagen.TupleSink, error) {
+				relations = s.Len()
+				w, err = db.NewCSVStreamWriter(filepath.Join(dir, "db"), s)
+				return w, err
+			})
+		if err != nil {
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		tuples = w.TotalRows()
+	} else {
+		var err error
+		ds, err = autobias.GenerateDataset(dataset, scale, seed)
+		if err != nil {
+			return err
+		}
 	}
 	mc.EndSpan(metrics.SpanDatagen, spanStart)
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if err := ds.DB.WriteCSVDir(filepath.Join(dir, "db")); err != nil {
-		return err
+	if !stream {
+		tuples = int64(ds.DB.TotalTuples())
+		relations = ds.DB.Schema().Len()
+		if err := ds.DB.WriteCSVDir(filepath.Join(dir, "db")); err != nil {
+			return err
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return err
@@ -95,11 +133,11 @@ func run(ctx context.Context, dataset string, scale float64, seed int64, dir str
 	}
 	meta := fmt.Sprintf("dataset: %s\nscale: %g\nseed: %d\ntarget: %s(%s)\ntuples: %d\npositives: %d\nnegatives: %d\nconcept: %s\n",
 		ds.Name, scale, seed, ds.Target, strings.Join(ds.TargetAttrs, ","),
-		ds.DB.TotalTuples(), len(ds.Pos), len(ds.Neg), ds.TrueDefinition)
+		tuples, len(ds.Pos), len(ds.Neg), ds.TrueDefinition)
 	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte(meta), 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s: %d relations, %d tuples, %d/%d examples\n",
-		dir, ds.DB.Schema().Len(), ds.DB.TotalTuples(), len(ds.Pos), len(ds.Neg))
+		dir, relations, tuples, len(ds.Pos), len(ds.Neg))
 	return nil
 }

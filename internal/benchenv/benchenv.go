@@ -8,7 +8,9 @@ package benchenv
 
 import (
 	"encoding/json"
+	"fmt"
 	"runtime"
+	"testing"
 )
 
 // Env is the environment block of one BENCH_*.json run entry.
@@ -36,4 +38,30 @@ func Capture() Env {
 func (e Env) String() string {
 	b, _ := json.Marshal(e)
 	return string(b)
+}
+
+// MatrixProcs is the multi-core bench matrix: the GOMAXPROCS values a
+// matrix benchmark records per entry. Values above NumCPU are kept —
+// pinning more Ps than cores is legal and measures scheduler
+// oversubscription; every entry records num_cpu next to gomaxprocs so
+// readers can tell scaling cells from oversubscribed ones.
+func MatrixProcs() []int {
+	return []int{1, 4, 8}
+}
+
+// RunProcs runs fn as one sub-benchmark per entry in procs, pinning
+// GOMAXPROCS for the duration of each cell (restored afterwards) and
+// naming the cell "procs=N" so BENCH_*.json entries can record the
+// matrix dimension. fn must capture its own setup; the pin happens
+// before fn runs, so pools sized off GOMAXPROCS inside fn see the
+// pinned value.
+func RunProcs(b *testing.B, procs []int, fn func(b *testing.B)) {
+	for _, p := range procs {
+		p := p
+		b.Run(fmt.Sprintf("procs=%d", p), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(p)
+			defer runtime.GOMAXPROCS(prev)
+			fn(b)
+		})
+	}
 }

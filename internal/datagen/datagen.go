@@ -43,6 +43,64 @@ func (c Config) scaled(n int, min int) int {
 	return v
 }
 
+// TupleSink receives generated tuples. *db.Database satisfies it (the
+// in-memory path); db.CSVStreamWriter satisfies it for the streamed
+// million-tuple path, where materializing the database would defeat
+// memory-bounded generation.
+type TupleSink interface {
+	MustInsert(relation string, values ...string)
+}
+
+// SinkFactory builds the sink a generator writes into, given the
+// dataset's schema (known before the first tuple). Returning an error
+// aborts generation before any tuple is produced.
+type SinkFactory func(*db.Schema) (TupleSink, error)
+
+// dedupSink drops exact duplicate rows within a relation. Generators
+// draw entity links at random, so bulk relations (taughtBy, genre,
+// inRing, event, ...) would otherwise contain duplicate tuples —
+// multiset rows that a relation, and the CSV loader (db.LoadCSVDir),
+// both reject: a duplicate row silently double-counts coverage and
+// value frequencies. Deduplication happens after the RNG draw, so it
+// never shifts the random stream: the surviving tuples are identical
+// between the in-memory and streamed paths at the same seed and scale.
+//
+// Rows are tracked as 64-bit FNV-1a hashes (8 bytes/row instead of the
+// row text) to keep million-tuple generation memory-bounded; a hash
+// collision would drop one legitimate row, with probability ≈ n²/2⁶⁵ —
+// about 10⁻⁶ at 10M rows — and deterministically for a given seed.
+type dedupSink struct {
+	sink TupleSink
+	seen map[string]map[uint64]struct{}
+}
+
+func newDedupSink(sink TupleSink) *dedupSink {
+	return &dedupSink{sink: sink, seen: make(map[string]map[uint64]struct{})}
+}
+
+func (d *dedupSink) MustInsert(relation string, values ...string) {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, v := range values {
+		for i := 0; i < len(v); i++ {
+			h ^= uint64(v[i])
+			h *= prime64
+		}
+		h ^= 0x1f // unit separator: ("ab","c") and ("a","bc") differ
+		h *= prime64
+	}
+	set := d.seen[relation]
+	if set == nil {
+		set = make(map[uint64]struct{})
+		d.seen[relation] = set
+	}
+	if _, dup := set[h]; dup {
+		return
+	}
+	set[h] = struct{}{}
+	d.sink.MustInsert(relation, values...)
+}
+
 // Dataset is a generated learning task: database, examples, the expert
 // ("Manual") language bias, and provenance.
 type Dataset struct {
@@ -61,21 +119,53 @@ type Dataset struct {
 // TargetArity returns the arity of the target relation.
 func (d *Dataset) TargetArity() int { return len(d.TargetAttrs) }
 
-// Generate builds the named dataset ("uw", "hiv", "imdb", "flt", "sys").
+// Generate builds the named dataset ("uw", "hiv", "imdb", "flt", "sys")
+// in memory.
 func Generate(name string, cfg Config) (*Dataset, error) {
+	var d *db.Database
+	ds, err := GenerateTo(name, cfg, func(s *db.Schema) (TupleSink, error) {
+		d = db.New(s)
+		return d, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ds.DB = d
+	return ds, nil
+}
+
+// GenerateTo streams the named dataset's tuples into a caller-provided
+// sink instead of materializing a database: the returned Dataset carries
+// the examples, bias and provenance but a nil DB. This is the
+// million-tuple path — pair it with db.NewCSVStreamWriter to write
+// relations to disk with bounded memory (see cmd/datasetgen -stream).
+// Tuples arrive deduplicated and in a deterministic order for a given
+// (name, Scale, Seed), identical to the in-memory path's.
+func GenerateTo(name string, cfg Config, mk SinkFactory) (*Dataset, error) {
 	switch name {
 	case "uw":
-		return UW(cfg), nil
+		return generateUW(cfg, mk)
 	case "hiv":
-		return HIV(cfg), nil
+		return generateHIV(cfg, mk)
 	case "imdb":
-		return IMDb(cfg), nil
+		return generateIMDb(cfg, mk)
 	case "flt":
-		return FLT(cfg), nil
+		return generateFLT(cfg, mk)
 	case "sys":
-		return SYS(cfg), nil
+		return generateSYS(cfg, mk)
 	}
 	return nil, fmt.Errorf("datagen: unknown dataset %q", name)
+}
+
+// mustGenerate adapts the in-memory path for the exported per-dataset
+// constructors; generation of a known dataset into a database cannot
+// fail.
+func mustGenerate(name string, cfg Config) *Dataset {
+	ds, err := Generate(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ds
 }
 
 // Names lists the datasets in the paper's Table 5 order.

@@ -1,6 +1,8 @@
 package datagen
 
 import (
+	"regexp"
+	"strconv"
 	"testing"
 
 	"repro/internal/db"
@@ -48,6 +50,105 @@ func TestDeterminism(t *testing.T) {
 				t.Fatalf("%s: positive %d differs", name, i)
 			}
 		}
+	}
+}
+
+// TestPrefixConsistencyAcrossScales pins the id-space contract every
+// generator shares (datagen.id): for each entity prefix the emitted ids
+// form a contiguous zero-padded range, the range start is
+// scale-invariant, and a smaller scale's id set is a strict prefix of a
+// larger scale's — so scaled-down test fixtures and full-size runs
+// agree on every entity they both contain, and IND discovery sees the
+// same disjoint value domains at every scale. Categorical code spaces
+// (course levels 300/400/500) are exempt from contiguity but must be
+// identical at every scale.
+func TestPrefixConsistencyAcrossScales(t *testing.T) {
+	idPattern := regexp.MustCompile(`^([A-Za-z]+)_(\d+)$`)
+	categorical := map[string]bool{"level": true}
+	scales := []float64{0.1, 0.5, 1.0}
+
+	collect := func(t *testing.T, name string, scale float64) map[string]map[int]bool {
+		t.Helper()
+		ds, err := Generate(name, Config{Scale: scale, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make(map[string]map[int]bool)
+		for _, rel := range ds.DB.Schema().Names() {
+			for _, tuple := range ds.DB.Relation(rel).Tuples {
+				for _, v := range tuple {
+					m := idPattern.FindStringSubmatch(v)
+					if m == nil {
+						continue
+					}
+					n, err := strconv.Atoi(m[2])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ids[m[1]] == nil {
+						ids[m[1]] = make(map[int]bool)
+					}
+					ids[m[1]][n] = true
+				}
+			}
+		}
+		return ids
+	}
+
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sets := make([]map[string]map[int]bool, len(scales))
+			for i, sc := range scales {
+				sets[i] = collect(t, name, sc)
+			}
+			for prefix := range sets[0] {
+				for i, sc := range scales {
+					ids, ok := sets[i][prefix]
+					if !ok {
+						t.Errorf("prefix %s present at scale %g but absent at %g", prefix, scales[0], sc)
+						continue
+					}
+					if categorical[prefix] {
+						continue
+					}
+					min, max := -1, -1
+					for n := range ids {
+						if min == -1 || n < min {
+							min = n
+						}
+						if n > max {
+							max = n
+						}
+					}
+					if len(ids) != max-min+1 {
+						t.Errorf("scale %g: prefix %s has %d distinct ids over range [%d,%d]; counter ids must be contiguous",
+							sc, prefix, len(ids), min, max)
+					}
+				}
+				// Cross-scale: the smaller scale's id set must be contained
+				// in the larger's (with contiguity above, that makes it a
+				// prefix of the larger counter range); categorical code
+				// spaces must not grow with scale at all.
+				for i := 1; i < len(scales); i++ {
+					small, large := sets[i-1][prefix], sets[i][prefix]
+					if small == nil || large == nil {
+						continue
+					}
+					for n := range small {
+						if !large[n] {
+							t.Errorf("prefix %s: id %d exists at scale %g but not at %g; smaller scales must be prefixes of larger ones",
+								prefix, n, scales[i-1], scales[i])
+							break
+						}
+					}
+					if categorical[prefix] && len(small) != len(large) {
+						t.Errorf("categorical prefix %s: %d codes at scale %g vs %d at %g; code space must be scale-invariant",
+							prefix, len(small), scales[i-1], len(large), scales[i])
+					}
+				}
+			}
+		})
 	}
 }
 

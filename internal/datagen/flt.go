@@ -15,7 +15,9 @@ import (
 // whose route passes through the via airport. The concept needs two
 // constants (hub and via), which is why the paper's No-const baseline
 // scores 0 on FLT while Manual and AutoBias reach F-measure 1 (Table 5).
-func FLT(cfg Config) *Dataset {
+func FLT(cfg Config) *Dataset { return mustGenerate("flt", cfg) }
+
+func generateFLT(cfg Config, mk SinkFactory) (*Dataset, error) {
 	cfg = cfg.normalized()
 	rng := rand.New(rand.NewSource(cfg.Seed + 4))
 
@@ -28,7 +30,11 @@ func FLT(cfg Config) *Dataset {
 	s.MustAdd("airport", "code", "region")
 	s.MustAdd("flight", "fid", "src", "dst")
 	s.MustAdd("leg", "fid", "loc", "seq")
-	d := db.New(s)
+	sink, err := mk(s)
+	if err != nil {
+		return nil, err
+	}
+	d := newDedupSink(sink)
 
 	regions := []string{"west", "east", "central", "south"}
 	airports := make([]string, nAirport)
@@ -95,14 +101,13 @@ func FLT(cfg Config) *Dataset {
 
 	return &Dataset{
 		Name:           "flt",
-		DB:             d,
 		Target:         "throughLoc",
 		TargetAttrs:    []string{"fid"},
 		Pos:            pos,
 		Neg:            neg,
 		Manual:         fltManualBias(hub, via),
 		TrueDefinition: "throughLoc(F) :- flight(F," + hub + ",D), leg(F," + via + ",S).",
-	}
+	}, nil
 }
 
 // fltManualBias is the expert bias for FLT: 18 definitions (§6.1). The

@@ -15,7 +15,9 @@ import (
 // chain with element constants, so constants and multi-hop joins are
 // both required — mirroring why the paper's HIV models are complex and
 // benefit from random sampling (§6.3).
-func HIV(cfg Config) *Dataset {
+func HIV(cfg Config) *Dataset { return mustGenerate("hiv", cfg) }
+
+func generateHIV(cfg Config, mk SinkFactory) (*Dataset, error) {
 	cfg = cfg.normalized()
 	rng := rand.New(rand.NewSource(cfg.Seed + 2))
 
@@ -29,7 +31,11 @@ func HIV(cfg Config) *Dataset {
 	s.MustAdd("bnd", "bond", "atom1", "atom2", "btype")
 	s.MustAdd("ring", "ringid", "comp", "rtype")
 	s.MustAdd("inRing", "atom", "ringid")
-	d := db.New(s)
+	sink, err := mk(s)
+	if err != nil {
+		return nil, err
+	}
+	d := newDedupSink(sink)
 
 	elements := []string{"c", "c", "c", "c", "c", "h", "h", "o", "n", "s", "cl", "li"}
 	btypes := []string{"single", "single", "single", "double", "aromatic"}
@@ -106,7 +112,6 @@ func HIV(cfg Config) *Dataset {
 
 	return &Dataset{
 		Name:        "hiv",
-		DB:          d,
 		Target:      "antiHIV",
 		TargetAttrs: []string{"comp"},
 		Pos:         pos,
@@ -114,7 +119,7 @@ func HIV(cfg Config) *Dataset {
 		Manual:      hivManualBias(),
 		TrueDefinition: "antiHIV(C) :- atm(A1,C,n), bnd(B,A1,A2,double), " +
 			"atm(A2,C,o).",
-	}
+	}, nil
 }
 
 // hivManualBias is the expert bias for HIV: 14 definitions (§6.1).

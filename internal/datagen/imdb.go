@@ -79,7 +79,9 @@ var catalogSatellites = []satellite{
 // needed 112 bias definitions). The target dramaDirector(dir) holds when
 // dir directed at least one drama movie — a two-hop join ending in the
 // constant "g_drama".
-func IMDb(cfg Config) *Dataset {
+func IMDb(cfg Config) *Dataset { return mustGenerate("imdb", cfg) }
+
+func generateIMDb(cfg Config, mk SinkFactory) (*Dataset, error) {
 	cfg = cfg.normalized()
 	rng := rand.New(rand.NewSource(cfg.Seed + 3))
 
@@ -102,7 +104,11 @@ func IMDb(cfg Config) *Dataset {
 	for _, sat := range all {
 		s.MustAdd(sat.name, sat.attrs...)
 	}
-	d := db.New(s)
+	sink, err := mk(s)
+	if err != nil {
+		return nil, err
+	}
+	d := newDedupSink(sink)
 
 	genres := []string{"g_drama", "g_comedy", "g_action", "g_horror", "g_scifi", "g_romance", "g_thriller", "g_doc"}
 	years := make([]string, 40)
@@ -274,14 +280,13 @@ func IMDb(cfg Config) *Dataset {
 
 	return &Dataset{
 		Name:           "imdb",
-		DB:             d,
 		Target:         "dramaDirector",
 		TargetAttrs:    []string{"person"},
 		Pos:            pos,
 		Neg:            neg,
 		Manual:         imdbManualBias(),
 		TrueDefinition: "dramaDirector(P) :- directed(P,M), genre(M,g_drama).",
-	}
+	}, nil
 }
 
 // imdbManualBias builds the expert bias for the 46-relation schema. The

@@ -16,7 +16,9 @@ import (
 // self-join on the one relation with two file constants and an operation
 // constant each. As in the paper, negatives far outnumber positives
 // (malicious activity is rare).
-func SYS(cfg Config) *Dataset {
+func SYS(cfg Config) *Dataset { return mustGenerate("sys", cfg) }
+
+func generateSYS(cfg Config, mk SinkFactory) (*Dataset, error) {
 	cfg = cfg.normalized()
 	rng := rand.New(rand.NewSource(cfg.Seed + 5))
 
@@ -26,7 +28,11 @@ func SYS(cfg Config) *Dataset {
 
 	s := db.NewSchema()
 	s.MustAdd("event", "proc", "image", "file", "op", "outcome")
-	d := db.New(s)
+	sink, err := mk(s)
+	if err != nil {
+		return nil, err
+	}
+	d := newDedupSink(sink)
 
 	images := []string{"img_httpd", "img_sshd", "img_cron", "img_backup", "img_update", "img_shell"}
 	files := []string{
@@ -83,7 +89,6 @@ func SYS(cfg Config) *Dataset {
 
 	return &Dataset{
 		Name:        "sys",
-		DB:          d,
 		Target:      "malicious",
 		TargetAttrs: []string{"proc"},
 		Pos:         pos,
@@ -91,7 +96,7 @@ func SYS(cfg Config) *Dataset {
 		Manual:      sysManualBias(),
 		TrueDefinition: "malicious(P) :- event(P,I1,f_cred_store,read,R1), " +
 			"event(P,I2,f_net_spool,write,R2).",
-	}
+	}, nil
 }
 
 // sysManualBias is the expert bias for SYS: 9 definitions (§6.1) — small

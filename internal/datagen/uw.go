@@ -18,7 +18,9 @@ import (
 // (label noise) and a slice of negatives co-authored without advising
 // (hard negatives), so no learner reaches a perfect F-measure — matching
 // the paper's UW rows.
-func UW(cfg Config) *Dataset {
+func UW(cfg Config) *Dataset { return mustGenerate("uw", cfg) }
+
+func generateUW(cfg Config, mk SinkFactory) (*Dataset, error) {
 	cfg = cfg.normalized()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -38,7 +40,11 @@ func UW(cfg Config) *Dataset {
 	s.MustAdd("taughtBy", "course", "prof", "term")
 	s.MustAdd("ta", "course", "stud", "term")
 	s.MustAdd("publication", "title", "person")
-	d := db.New(s)
+	sink, err := mk(s)
+	if err != nil {
+		return nil, err
+	}
+	d := newDedupSink(sink)
 
 	phases := []string{"pre_quals", "post_quals", "post_generals"}
 	years := []string{"year_1", "year_2", "year_3", "year_4", "year_5", "year_6"}
@@ -160,7 +166,6 @@ func UW(cfg Config) *Dataset {
 
 	return &Dataset{
 		Name:        "uw",
-		DB:          d,
 		Target:      "advisedBy",
 		TargetAttrs: []string{"stud", "prof"},
 		Pos:         pos,
@@ -168,7 +173,7 @@ func UW(cfg Config) *Dataset {
 		Manual:      uwManualBias(),
 		TrueDefinition: "advisedBy(S,P) :- publication(T,S), publication(T,P), " +
 			"ta(C,S,Term), taughtBy(C,P,Term).",
-	}
+	}, nil
 }
 
 // uwManualBias is the expert bias for UW: 19 definitions, the count the

@@ -83,7 +83,20 @@ func LoadCSVDir(dir string) (*Database, error) {
 	}
 	d := New(schema)
 	for _, l := range all {
+		// Relations are sets: a duplicate row would silently double-count
+		// coverage, value frequencies and Olken sampling weights, so the
+		// load fails naming both occurrences instead of shrinking or
+		// keeping the multiset. Keys join fields on 0x1f (the unit
+		// separator), which cannot round-trip through our own writer and
+		// is vanishingly unlikely in hand-made data.
+		seen := make(map[string]int, len(l.rows))
 		for i, row := range l.rows {
+			key := strings.Join(row, "\x1f")
+			if first, dup := seen[key]; dup {
+				return nil, fmt.Errorf("db: load %s.csv: line %d: duplicate row (%s) first seen at line %d; relations are sets — deduplicate the file",
+					l.name, l.lines[i], strings.Join(row, ","), first)
+			}
+			seen[key] = l.lines[i]
 			if err := d.Insert(l.name, row...); err != nil {
 				return nil, fmt.Errorf("db: load %s.csv: line %d: %w", l.name, l.lines[i], err)
 			}

@@ -1,0 +1,117 @@
+package db
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CSVStreamWriter writes one <relation>.csv file per schema relation
+// incrementally, tuple by tuple, without materializing a Database. It is
+// the million-tuple generation sink (datagen.GenerateTo, cmd/datasetgen
+// -stream): memory stays bounded by the per-file write buffers, not the
+// data volume. Files carry the same header-row format WriteCSVDir
+// produces and LoadCSVDir reads.
+//
+// MustInsert matches (*Database).MustInsert's contract: schema misuse
+// (unknown relation, wrong arity) panics; I/O errors are sticky and
+// surface at Close, so a full disk fails the run rather than truncating
+// a relation silently. Not safe for concurrent use.
+type CSVStreamWriter struct {
+	schema  *Schema
+	files   map[string]*os.File
+	writers map[string]*csv.Writer
+	rows    map[string]int64
+	err     error
+}
+
+// NewCSVStreamWriter creates dir (if needed) and opens one CSV file per
+// relation in the schema, writing each header row immediately.
+func NewCSVStreamWriter(dir string, schema *Schema) (*CSVStreamWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("db: csv stream: %w", err)
+	}
+	w := &CSVStreamWriter{
+		schema:  schema,
+		files:   make(map[string]*os.File, schema.Len()),
+		writers: make(map[string]*csv.Writer, schema.Len()),
+		rows:    make(map[string]int64, schema.Len()),
+	}
+	for _, name := range schema.Names() {
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			w.closeFiles()
+			return nil, fmt.Errorf("db: csv stream %s: %w", name, err)
+		}
+		cw := csv.NewWriter(f)
+		if err := cw.Write(schema.Relation(name).Attributes); err != nil {
+			w.closeFiles()
+			f.Close()
+			return nil, fmt.Errorf("db: csv stream %s: header: %w", name, err)
+		}
+		w.files[name] = f
+		w.writers[name] = cw
+	}
+	return w, nil
+}
+
+// MustInsert appends one tuple to the relation's file. It satisfies
+// datagen.TupleSink.
+func (w *CSVStreamWriter) MustInsert(relation string, values ...string) {
+	cw := w.writers[relation]
+	if cw == nil {
+		panic(fmt.Sprintf("db: csv stream: unknown relation %q", relation))
+	}
+	if want := w.schema.Relation(relation).Arity(); len(values) != want {
+		panic(fmt.Sprintf("db: csv stream %s: tuple arity %d, want %d", relation, len(values), want))
+	}
+	if w.err != nil {
+		return
+	}
+	if err := cw.Write(values); err != nil {
+		w.err = fmt.Errorf("db: csv stream %s: %w", relation, err)
+		return
+	}
+	w.rows[relation]++
+}
+
+// Rows returns the number of tuples written to one relation so far.
+func (w *CSVStreamWriter) Rows(relation string) int64 { return w.rows[relation] }
+
+// TotalRows returns the number of tuples written across all relations.
+func (w *CSVStreamWriter) TotalRows() int64 {
+	var n int64
+	for _, r := range w.rows {
+		n += r
+	}
+	return n
+}
+
+// Close flushes and closes every file, returning the first error
+// encountered during the whole write (including sticky MustInsert
+// errors). The output directory must be considered incomplete when
+// Close returns an error.
+func (w *CSVStreamWriter) Close() error {
+	for _, name := range w.schema.Names() {
+		cw := w.writers[name]
+		cw.Flush()
+		if err := cw.Error(); err != nil && w.err == nil {
+			w.err = fmt.Errorf("db: csv stream %s: %w", name, err)
+		}
+	}
+	if err := w.closeFiles(); err != nil && w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+func (w *CSVStreamWriter) closeFiles() error {
+	var first error
+	for name, f := range w.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = fmt.Errorf("db: csv stream %s: close: %w", name, err)
+		}
+	}
+	return first
+}

@@ -353,6 +353,115 @@ func TestHoldsNULLSemantics(t *testing.T) {
 // Property: on randomly generated databases, Discover must agree with the
 // brute-force Holds check for every reported IND, and must report every
 // pair whose brute-force error is within the threshold.
+// TestPropOrderInvariance is the schema-independence property at the
+// discovery layer (the stress-harness companion to the learner-level
+// cross-variant suite): the discovered INDs are a function of database
+// CONTENT only. Re-registering relations in a shuffled order and
+// re-inserting tuples in a shuffled order must yield the exact same
+// sorted output (the sort key is content-based, so not just
+// set-equality); permuting a relation's columns must yield the same
+// INDs mapped through the permutation.
+func TestPropOrderInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	type relSpec struct {
+		name   string
+		attrs  []string
+		tuples [][]string
+	}
+	for trial := 0; trial < 20; trial++ {
+		vals := []string{"x0", "x1", "x2", "x3", "x4", "x5"}
+		pick := func() string { return vals[r.Intn(len(vals))] }
+		specs := []relSpec{
+			{name: "r1", attrs: []string{"a", "b"}},
+			{name: "r2", attrs: []string{"c"}},
+			{name: "r3", attrs: []string{"d", "e", "f"}},
+		}
+		for i := range specs {
+			for k, n := 0, 2+r.Intn(15); k < n; k++ {
+				row := make([]string, len(specs[i].attrs))
+				for j := range row {
+					row[j] = pick()
+				}
+				specs[i].tuples = append(specs[i].tuples, row)
+			}
+		}
+		build := func(order []int, colPerm map[string][]int) *db.Database {
+			s := db.NewSchema()
+			for _, i := range order {
+				sp := specs[i]
+				attrs := sp.attrs
+				if p := colPerm[sp.name]; p != nil {
+					attrs = make([]string, len(p))
+					for to, from := range p {
+						attrs[to] = sp.attrs[from]
+					}
+				}
+				s.MustAdd(sp.name, attrs...)
+			}
+			d := db.New(s)
+			for _, i := range order {
+				sp := specs[i]
+				rows := append([][]string(nil), sp.tuples...)
+				r.Shuffle(len(rows), func(a, b int) { rows[a], rows[b] = rows[b], rows[a] })
+				for _, row := range rows {
+					vs := row
+					if p := colPerm[sp.name]; p != nil {
+						vs = make([]string, len(p))
+						for to, from := range p {
+							vs[to] = row[from]
+						}
+					}
+					d.MustInsert(sp.name, vs...)
+				}
+			}
+			return d
+		}
+		opts := Options{MaxError: float64(r.Intn(11)) / 10, Buckets: 1 + r.Intn(8)}
+		base := Discover(build([]int{0, 1, 2}, nil), opts)
+
+		// Shuffled declaration + insertion order: byte-for-byte equal.
+		order := []int{0, 1, 2}
+		r.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		shuffled := Discover(build(order, nil), opts)
+		if len(base) != len(shuffled) {
+			t.Fatalf("trial %d: %d INDs on base, %d after reorder", trial, len(base), len(shuffled))
+		}
+		for i := range base {
+			if base[i] != shuffled[i] {
+				t.Fatalf("trial %d: output %d differs after reorder: %v vs %v", trial, i, base[i], shuffled[i])
+			}
+		}
+
+		// Column permutation on r3: INDs map through the permutation.
+		// perm[to] = from, so old attr j appears at position inv[j].
+		perm := []int{0, 1, 2}
+		r.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		inv := make([]int, len(perm))
+		for to, from := range perm {
+			inv[from] = to
+		}
+		remap := func(a AttrID) AttrID {
+			if a.Relation == "r3" {
+				a.Attr = inv[a.Attr]
+			}
+			return a
+		}
+		permuted := Discover(build([]int{0, 1, 2}, map[string][]int{"r3": perm}), opts)
+		want := make(map[IND]bool, len(base))
+		for _, i := range base {
+			want[IND{From: remap(i.From), To: remap(i.To), Error: i.Error}] = true
+		}
+		if len(permuted) != len(want) {
+			t.Fatalf("trial %d: %d INDs on base, %d after column permutation %v", trial, len(want), len(permuted), perm)
+		}
+		for _, i := range permuted {
+			if !want[i] {
+				t.Fatalf("trial %d: unexpected IND %v after column permutation %v", trial, i, perm)
+			}
+		}
+	}
+}
+
 func TestPropDiscoverCompleteAndSound(t *testing.T) {
 	r := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 30; trial++ {

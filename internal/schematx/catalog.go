@@ -1,0 +1,72 @@
+package schematx
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+)
+
+// CatalogFor returns the schema-variant suite for a generated dataset:
+// the concrete transform instances the cross-variant differential
+// harness runs for each benchmark. Picks target concept-bearing
+// relations wherever possible (the relation the true definition joins
+// through), so a bias-rewrite bug shows up as a coverage divergence,
+// not a silent no-op on an irrelevant table.
+func CatalogFor(dataset string) ([]Transform, error) {
+	switch dataset {
+	case "uw":
+		// taughtBy carries the advisedBy join; inPhase carries the
+		// phase constant.
+		return []Transform{
+			VerticalPartition{Relation: "taughtBy", Split: 1},
+			Denormalize{Left: "taughtBy", On: 1, Right: "hasPosition"},
+			JoinDecompose{Relation: "inPhase", Attr: 1},
+		}, nil
+	case "hiv":
+		// atm carries both motif atoms and the element constants; the
+		// decomposition dictionary-encodes the compound join column, so
+		// the concept's own join runs through the dictionary. (Encoding
+		// the element column instead would round-trip fine but rewrites
+		// the # constant modes into shared dictionary variables, which
+		// restructures the ground bottom clauses enough that the greedy
+		// learner finds a different — not coverage-equivalent — theory.)
+		return []Transform{
+			VerticalPartition{Relation: "atm", Split: 2},
+			Denormalize{Left: "inRing", On: 0, Right: "atm"},
+			JoinDecompose{Relation: "atm", Attr: 1},
+		}, nil
+	case "imdb":
+		// genre carries the g_drama constant the concept hinges on; the
+		// decomposition encodes the movie join column (see the hiv note
+		// on why not the constant-bearing one).
+		return []Transform{
+			VerticalPartition{Relation: "genre", Split: 1},
+			Denormalize{Left: "genre", On: 0, Right: "movieYear"},
+			JoinDecompose{Relation: "genre", Attr: 0},
+		}, nil
+	case "flt":
+		return []Transform{
+			VerticalPartition{Relation: "flight", Split: 1},
+			Denormalize{Left: "leg", On: 1, Right: "airport"},
+			JoinDecompose{Relation: "leg", Attr: 1},
+		}, nil
+	case "sys":
+		// Single-relation schema: no FD pair exists to denormalize.
+		return []Transform{
+			VerticalPartition{Relation: "event", Split: 2},
+			JoinDecompose{Relation: "event", Attr: 2},
+		}, nil
+	default:
+		return nil, fmt.Errorf("schematx: no variant catalog for dataset %q", dataset)
+	}
+}
+
+// SourceOf adapts a generated dataset to a transformation Source.
+func SourceOf(ds *datagen.Dataset) Source {
+	return Source{
+		DB:          ds.DB,
+		Bias:        ds.Manual,
+		Target:      ds.Target,
+		TargetAttrs: ds.TargetAttrs,
+	}
+}

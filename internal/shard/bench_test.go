@@ -101,6 +101,36 @@ func BenchmarkCoordinatorMemoHit(b *testing.B) {
 	b.ReportMetric(float64(len(examples))*float64(b.N)/b.Elapsed().Seconds(), "verdicts/sec")
 }
 
+// BenchmarkCoordinatorProcsMatrix re-runs the full coordinator path
+// with GOMAXPROCS pinned to 1/4/8 per cell: the coordinator fans shard
+// RPCs out on goroutines and the worker serves them concurrently, so
+// core starvation shows up directly in verdicts/sec. Results append to
+// BENCH_shard.json (gomaxprocs field).
+func BenchmarkCoordinatorProcsMatrix(b *testing.B) {
+	benchenv.RunProcs(b, benchenv.MatrixProcs(), func(b *testing.B) {
+		b.Logf("env: %s", benchenv.Capture())
+		srv, _ := benchFleet(b)
+		co, err := New(Options{Shards: [][]string{{srv.URL}}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		co.Bind(tinyEngine(b, 1))
+		b.Cleanup(co.Close)
+		examples := benchExamples()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c, err := logic.ParseClause(benchClause)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := co.CountUpTo(context.Background(), c, examples, len(examples)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(examples))*float64(b.N)/b.Elapsed().Seconds(), "verdicts/sec")
+	})
+}
+
 // BenchmarkCoordinatorRPC measures the full coordinator path — shard
 // grouping, RPC, merge, memoization — with a fresh clause pointer per
 // iteration so the coordinator memo never hits (the worker's does: its

@@ -1,3 +1,3 @@
 % golden learned theory — regenerate with: go test -run TestGoldenTheories -update
 %% dataset=sys scale=0.1 seed=1 method=autobias workers=1 pos=12 neg=60
-malicious(V0) :- event(V0,V1,f_net_spool,write,V6), event(V0,V1,f_cred_store,read,V6).
+malicious(V0) :- event(V0,V1,V5,V3,V6), event(V0,V1,V5,V3,ok), event(V0,V1,f_net_spool,V10,V6), event(V0,V1,f_cred_store,read,V6).
