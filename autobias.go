@@ -318,6 +318,14 @@ type ShardOptions struct {
 	// DisableLocalFallback aborts (anytime, partial theory) instead of
 	// computing a lost shard's examples in-process.
 	DisableLocalFallback bool
+	// DisableBatch forces per-candidate RPCs instead of shipping each
+	// refinement step's whole candidate frontier per shard in one wire-v2
+	// round. Verdicts and theories are identical either way (the
+	// differential suite proves it); the per-candidate mode exists for
+	// diagnosis and old-fleet comparison.
+	DisableBatch bool
+	// BatchClauses caps frontier clauses per wire batch; <=0 selects 256.
+	BatchClauses int
 }
 
 // shardFleet parses the "url1|url2" replica syntax into per-shard
@@ -645,6 +653,8 @@ func LearnCtx(ctx context.Context, task Task, opts Options) (*Result, error) {
 				Retries:              so.Retries,
 				HedgeDelay:           so.HedgeDelay,
 				DisableLocalFallback: so.DisableLocalFallback,
+				DisableBatch:         so.DisableBatch,
+				MaxBatchClauses:      so.BatchClauses,
 				JitterSeed:           opts.Seed,
 				Metrics:              mc,
 			})
@@ -684,7 +694,8 @@ func LearnCtx(ctx context.Context, task Task, opts Options) (*Result, error) {
 // coordinator's — same bias (induced or given), same effective
 // bottom-clause and subsumption options, pure ground-BC provenance —
 // plus the config fingerprint that proves the parity on every RPC. The
-// returned worker serves POST /v1/coverage, GET /healthz, GET /readyz
+// returned worker serves POST /v1/coverage, POST /v2/coverage (the
+// batched frontier protocol), GET /healthz, GET /readyz
 // and GET /metrics; run it with (*ShardWorker).Serve or mount
 // (*ShardWorker).Handler yourself. See cmd/shardworker for the CLI.
 func NewShardWorker(task Task, opts Options, id string, wopts ShardWorkerOptions) (*ShardWorker, error) {

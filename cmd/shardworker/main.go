@@ -1,8 +1,9 @@
 // Command shardworker runs one shard-worker process for a distributed
 // learning run: a coverage engine behind HTTP, answering the
-// coordinator's coverage RPCs (POST /v1/coverage) plus /healthz
-// (liveness), /readyz (readiness, used by the coordinator's revival
-// probes) and /metrics.
+// coordinator's coverage RPCs (POST /v1/coverage per-candidate, POST
+// /v2/coverage batched frontiers) plus /healthz (liveness), /readyz
+// (readiness, used by the coordinator's revival probes; 503 while a
+// -preload warm-up is compiling ground BCs) and /metrics.
 //
 // Every worker must be started from the same task and learning options
 // as the coordinating run — it rebuilds the same bias and engine
@@ -54,6 +55,9 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request coverage budget")
 	maxConcurrent := flag.Int("max-concurrent", 0, "in-flight request cap (0 = 64); excess sheds 503 + Retry-After")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	preload := flag.Bool("preload", false, "compile ground bottom clauses for this worker's owned example range at startup; /readyz answers 503 until the warm-up finishes")
+	shardIndex := flag.Int("shard-index", -1, "with -preload: this worker's shard index (0-based); preloads only examples hashing to it")
+	shardCount := flag.Int("shard-count", 0, "with -preload: total shard count of the fleet; 0 or 1 preloads every example")
 	flag.Parse()
 
 	task, err := buildTask(*dataset, *scale, *seed, *csvDir, *target, *attrs, *posFile, *negFile)
@@ -95,6 +99,22 @@ func main() {
 	fmt.Printf("shardworker %s listening on http://%s fingerprint=%s\n", *id, ln.Addr(), worker.Fingerprint())
 	ctx, stop := cli.NotifyContext()
 	defer stop()
+	if *preload {
+		// Warm the ground-BC cache for this worker's owned range while the
+		// listener is already accepting: /readyz answers 503 until the
+		// warm-up finishes, so coordinators wait instead of paying
+		// first-request compile latency.
+		worker.BeginPreload()
+		go func() {
+			examples := append(append([]autobias.Example(nil), task.Pos...), task.Neg...)
+			n, err := worker.Preload(ctx, examples, *shardIndex, *shardCount)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "shardworker %s: preload aborted after %d BCs: %v\n", *id, n, err)
+				return
+			}
+			fmt.Printf("shardworker %s preloaded %d ground BCs\n", *id, n)
+		}()
+	}
 	if err := worker.Serve(ctx, ln); err != nil {
 		fmt.Fprintln(os.Stderr, "shardworker:", err)
 		os.Exit(1)

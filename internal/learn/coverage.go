@@ -794,6 +794,150 @@ func (ce *CoverageEngine) countLocal(ctx context.Context, c *logic.Clause, examp
 	return n, nil
 }
 
+// CountManyUpToCtx resolves a whole candidate frontier in one call:
+// counts[i] = min(|{e : clauses[i] covers e}|, limit). With a transport
+// installed the frontier travels as one bulk call (the coordinator turns
+// it into one RPC round per shard instead of one per candidate); without
+// one, the local path fans the clauses across the worker pool, so
+// single-process learning gets candidate-level parallelism from the same
+// batching seam. Counts are bit-identical to len(clauses) sequential
+// CountUpToCtx calls at every worker count.
+func (ce *CoverageEngine) CountManyUpToCtx(ctx context.Context, clauses []*logic.Clause, examples []Example, limit int) ([]int, error) {
+	if len(clauses) == 0 {
+		return nil, nil
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	if faultpoint.Enabled() {
+		if err := faultpoint.Inject(ctx, "coverage.count"); err != nil {
+			return nil, err
+		}
+	}
+	if ce.transport != nil {
+		ns, err := ce.transport.CountManyUpTo(ctx, clauses, examples, limit)
+		if err != nil {
+			return nil, ce.abandoned(err, len(examples))
+		}
+		if len(ns) != len(clauses) {
+			return nil, fmt.Errorf("learn: transport answered %d counts for %d clauses", len(ns), len(clauses))
+		}
+		return ns, nil
+	}
+	return ce.countManyLocal(ctx, clauses, examples, limit)
+}
+
+// countManyLocal is the in-process frontier count. One worker runs the
+// exact sequential path — clause by clause, example by example, the
+// same order as N individual counts. With more workers the examples'
+// ground BCs are prefetched sequentially ONCE for the whole frontier
+// (the per-candidate path re-probed the cache per clause), then the
+// clauses fan out across the pool; each clause scans its examples in
+// order with early exit at limit, so the per-clause result is the same
+// min(exact, limit) the sequential path computes.
+func (ce *CoverageEngine) countManyLocal(ctx context.Context, clauses []*logic.Clause, examples []Example, limit int) ([]int, error) {
+	if len(clauses) == 1 {
+		n, err := ce.countLocal(ctx, clauses[0], examples, limit)
+		if err != nil {
+			return nil, err
+		}
+		return []int{n}, nil
+	}
+	spanStart := ce.mc.StartSpan()
+	defer ce.mc.EndSpan(metrics.SpanCoverageCount, spanStart)
+	counts := make([]int, len(clauses))
+	nw := ce.workers
+	if nw > len(clauses) {
+		nw = len(clauses)
+	}
+	if nw <= 1 {
+		for i, c := range clauses {
+			n := 0
+			for _, e := range examples {
+				ok, err := ce.covers(ctx, c, e, false)
+				if err != nil {
+					return nil, ce.abandoned(err, len(examples))
+				}
+				if ok {
+					n++
+				}
+			}
+			if n > limit {
+				n = limit
+			}
+			counts[i] = n
+		}
+		return counts, nil
+	}
+
+	// Sequential BC prefetch, shared across every clause of the batch
+	// (see countLocal for why order matters). An isolated prefetch is
+	// skipped — the pooled per-example fallback re-derives the same
+	// deterministic failure.
+	for _, e := range examples {
+		if _, err := ce.GroundBCCtx(ctx, e); err != nil {
+			var pe *panicErr
+			if errors.As(err, &pe) {
+				continue
+			}
+			return nil, ce.abandoned(err, len(examples))
+		}
+	}
+
+	var (
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if ce.mc.Enabled() {
+				busyStart := time.Now()
+				defer func() { ce.mc.WorkerBusy(w, time.Since(busyStart)) }()
+			}
+			for i := w; i < len(clauses); i += nw {
+				if stop.Load() {
+					return
+				}
+				n := 0
+				for _, e := range examples {
+					if stop.Load() {
+						return
+					}
+					ok, err := ce.covers(ctx, clauses[i], e, true)
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						stop.Store(true)
+						return
+					}
+					if ok {
+						n++
+						if n >= limit {
+							break
+						}
+					}
+				}
+				if n > limit {
+					n = limit // limit 0: the early break fires after the first hit
+				}
+				counts[i] = n
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, ce.abandoned(firstErr, len(examples))
+	}
+	return counts, nil
+}
+
 // abandoned records a coverage-abandoned event when the count died to
 // cancellation, and passes the error through either way.
 func (ce *CoverageEngine) abandoned(err error, total int) error {

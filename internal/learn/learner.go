@@ -333,24 +333,38 @@ func (l *Learner) learnClause(ctx context.Context, seed Example, pos, neg []Exam
 	posSample := l.sampleExamples(pos, l.opts.EvalSampleCap)
 	negSample := l.sampleExamples(neg, l.opts.EvalSampleCap)
 
-	evaluate := func(c *logic.Clause) (scored, error) {
-		stats.CandidatesSeen++
-		l.opts.Metrics.Inc(metrics.LearnCandidates)
-		p, err := l.cover.CountCtx(ctx, c, posSample)
-		if err != nil {
-			return scored{}, err
+	// evaluate scores a frontier of candidates through the bulk coverage
+	// path: two CountManyUpTo calls — the whole frontier against the
+	// positive sample, then the negative sample — instead of 2·N
+	// individual counts. Through the shard transport this collapses a
+	// refinement step's RPC rounds from O(candidates · shards) to
+	// O(shards); in-process it fans the candidates across the worker
+	// pool. Scores are bit-identical to per-candidate evaluation.
+	evaluate := func(cs []*logic.Clause) ([]scored, error) {
+		for range cs {
+			stats.CandidatesSeen++
+			l.opts.Metrics.Inc(metrics.LearnCandidates)
 		}
-		n, err := l.cover.CountCtx(ctx, c, negSample)
+		ps, err := l.cover.CountManyUpToCtx(ctx, cs, posSample, len(posSample)+1)
 		if err != nil {
-			return scored{}, err
+			return nil, err
 		}
-		return scored{clause: c, score: p - n}, nil
+		ns, err := l.cover.CountManyUpToCtx(ctx, cs, negSample, len(negSample)+1)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]scored, len(cs))
+		for i, c := range cs {
+			out[i] = scored{clause: c, score: ps[i] - ns[i]}
+		}
+		return out, nil
 	}
 
-	best, err := evaluate(bc)
+	first, err := evaluate([]*logic.Clause{bc})
 	if err != nil {
 		return nil, err
 	}
+	best := first[0]
 	beam := []scored{best}
 	seen := map[string]bool{bc.Key(): true}
 
@@ -363,7 +377,10 @@ func (l *Learner) learnClause(ctx context.Context, seed Example, pos, neg []Exam
 		stats.RoundsTotal++
 		l.opts.Metrics.Inc(metrics.LearnRounds)
 		sample := l.sampleExamples(pos, l.opts.GeneralizeSample)
-		var candidates []scored
+		// Generate the round's whole candidate frontier first (dedup by
+		// canonical key, same order as per-candidate generation), then
+		// score it in one batched evaluation.
+		var fresh []*logic.Clause
 		for _, b := range beam {
 			for _, e := range sample {
 				if l.expired() {
@@ -383,12 +400,12 @@ func (l *Learner) learnClause(ctx context.Context, seed Example, pos, neg []Exam
 					continue
 				}
 				seen[key] = true
-				sc, err := evaluate(cand)
-				if err != nil {
-					return nil, err
-				}
-				candidates = append(candidates, sc)
+				fresh = append(fresh, cand)
 			}
+		}
+		candidates, err := evaluate(fresh)
+		if err != nil {
+			return nil, err
 		}
 		if len(candidates) == 0 {
 			break

@@ -67,6 +67,66 @@ func TestCountParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestCountManyMatchesSequential checks the batched evaluation path:
+// CountManyUpTo over a candidate frontier returns exactly the counts
+// sequential per-clause CountUpTo calls return, at every worker count
+// and every limit, and leaves the same ground BCs behind.
+func TestCountManyMatchesSequential(t *testing.T) {
+	d, pos, neg := uwWorld(t, 12, 8)
+	c := uwLearnBias(t, d)
+	all := append(append([]Example(nil), pos...), neg...)
+	frontier := []*logic.Clause{
+		logic.MustParseClause("advisedBy(X,Y) :- publication(Z,X), publication(Z,Y)."),
+		logic.MustParseClause("advisedBy(X,Y) :- student(X)."),
+		logic.MustParseClause("advisedBy(X,Y) :- professor(Y)."),
+		logic.MustParseClause("advisedBy(X,Y) :- student(X), professor(Y), publication(Z,X)."),
+	}
+	limits := []int{0, 1, 3, len(all), len(all) + 1}
+
+	ref := NewCoverage(bottom.NewBuilder(d, c, bottom.Options{Depth: 1}), subsume.Options{})
+	want := make(map[int][]int)
+	for _, limit := range limits {
+		for _, cl := range frontier {
+			n, err := ref.CountUpTo(cl, all, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[limit] = append(want[limit], n)
+		}
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		ce := NewCoverage(bottom.NewBuilder(d, c, bottom.Options{Depth: 1}), subsume.Options{})
+		ce.SetWorkers(workers)
+		for _, limit := range limits {
+			got, err := ce.CountManyUpToLocalCtx(context.Background(), frontier, all, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range frontier {
+				if got[i] != want[limit][i] {
+					t.Errorf("workers=%d limit=%d clause %d: CountMany %d, want %d", workers, limit, i, got[i], want[limit][i])
+				}
+			}
+		}
+		// Batched evaluation must build the same ground BCs the
+		// sequential engine builds (prefetch order = example order).
+		for _, e := range all {
+			gs, err := ref.GroundBC(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gp, err := ce.GroundBC(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gs.String() != gp.String() {
+				t.Fatalf("workers=%d: ground BC for %v diverged under batched evaluation", workers, e)
+			}
+		}
+	}
+}
+
 // TestCountUpToDecisions checks the early-exit contract: CountUpTo
 // returns min(exact, limit), so threshold decisions agree with the full
 // count at every worker count.

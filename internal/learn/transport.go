@@ -37,6 +37,16 @@ import (
 // rather than a hard failure.
 type CoverageTransport interface {
 	CountUpTo(ctx context.Context, c *logic.Clause, examples []Example, limit int) (int, error)
+
+	// CountManyUpTo is the bulk form: one call resolves a whole candidate
+	// frontier against the same example set, returning min(covered, limit)
+	// per clause, positionally aligned with clauses. The per-clause
+	// contract is identical to CountUpTo — every (clause, example) pair
+	// is resolved, every verdict is memoized — so a batched evaluation
+	// and len(clauses) sequential CountUpTo calls leave the engine in the
+	// same memo state and return the same counts. Batching only changes
+	// how many wire round-trips pay for the frontier.
+	CountManyUpTo(ctx context.Context, clauses []*logic.Clause, examples []Example, limit int) ([]int, error)
 }
 
 // SetTransport routes the engine's coverage counts (Count/CountUpTo and
@@ -78,6 +88,17 @@ func (ce *CoverageEngine) CountUpToLocalCtx(ctx context.Context, c *logic.Clause
 		limit = 0
 	}
 	return ce.countLocal(ctx, c, examples, limit)
+}
+
+// CountManyUpToLocalCtx is CountManyUpToCtx pinned to the in-process
+// engine, bypassing any installed transport — the transport's own local
+// fallback calls this (routing through the bounded entry point again
+// would recurse).
+func (ce *CoverageEngine) CountManyUpToLocalCtx(ctx context.Context, clauses []*logic.Clause, examples []Example, limit int) ([]int, error) {
+	if limit < 0 {
+		limit = 0
+	}
+	return ce.countManyLocal(ctx, clauses, examples, limit)
 }
 
 // CoversLocalPooledCtx is CoversPooledCtx pinned to the in-process

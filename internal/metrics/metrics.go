@@ -252,6 +252,13 @@ const (
 	HistSubsumeNodes
 	// HistServeBatch distributes predict-request batch sizes. Gauge-class.
 	HistServeBatch
+	// HistShardBatchClauses distributes how many frontier clauses each
+	// batched shard RPC carried. Gauge-class: retries, failovers, and
+	// memo state decide how many wire batches a run issues.
+	HistShardBatchClauses
+	// HistShardBatchExamples distributes how many examples each batched
+	// shard RPC covered (the shard group size). Gauge-class.
+	HistShardBatchExamples
 
 	numHists
 )
@@ -275,6 +282,10 @@ var histDefs = [numHists]histDef{
 		[]int64{0, 10, 100, 1000, 10000, 100000, 1000000}},
 	HistServeBatch: {"serve.batch_size", false,
 		[]int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}},
+	HistShardBatchClauses: {"shard.batch_clauses", false,
+		[]int64{1, 2, 4, 8, 16, 32, 64, 128, 256}},
+	HistShardBatchExamples: {"shard.batch_examples", false,
+		[]int64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}},
 }
 
 // SpanID identifies one wall-clock stage span.

@@ -19,12 +19,12 @@ import (
 // coordinator fan-out adds on top of the raw RPC. Results are tracked in
 // BENCH_shard.json; each entry records benchenv.Capture().
 
-func benchFleet(b *testing.B) (*httptest.Server, *Worker) {
-	b.Helper()
-	engine := tinyEngine(b, 1)
+func benchFleet(tb testing.TB) (*httptest.Server, *Worker) {
+	tb.Helper()
+	engine := tinyEngine(tb, 1)
 	w := NewWorker("bench", engine, "benchfp", WorkerOptions{})
 	srv := httptest.NewServer(w.Handler())
-	b.Cleanup(srv.Close)
+	tb.Cleanup(srv.Close)
 	return srv, w
 }
 
@@ -43,6 +43,28 @@ func name(prefix string, i int) string {
 }
 
 const benchClause = "advisedBy(A,B) :- publication(C,A), publication(C,B)"
+
+// benchFrontierTexts generates n distinct candidate-clause texts over
+// the tiny world's language — deterministic body-literal subsets, the
+// shape a refinement step's frontier has.
+func benchFrontierTexts(n int) []string {
+	lits := []string{"student(A)", "professor(B)", "publication(C,A)", "publication(C,B)", "publication(D,A)", "publication(D,B)"}
+	var out []string
+	for mask := 1; mask < 1<<len(lits) && len(out) < n; mask++ {
+		body := ""
+		for i, l := range lits {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			if body != "" {
+				body += ", "
+			}
+			body += l
+		}
+		out = append(out, "advisedBy(A,B) :- "+body)
+	}
+	return out
+}
 
 // BenchmarkWorkerRPC measures one HTTP coverage round-trip against a
 // memo-hot worker: transport + JSON codec + 8 memoized verdicts.
@@ -156,4 +178,43 @@ func BenchmarkCoordinatorRPC(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(examples))*float64(b.N)/b.Elapsed().Seconds(), "verdicts/sec")
+}
+
+// BenchmarkCoordinatorBatchRPC measures the batched frontier path: an
+// 8-clause frontier resolved by CountManyUpTo in one wire-v2 round —
+// dictionary-referenced examples, packed-bitset verdicts. Fresh clause
+// pointers per iteration keep the coordinator memo cold (the worker's
+// clause cache and verdict memo are hot, like BenchmarkCoordinatorRPC),
+// so verdicts/sec here vs BenchmarkCoordinatorRPC is the per-verdict
+// amortization batching buys.
+func BenchmarkCoordinatorBatchRPC(b *testing.B) {
+	b.Logf("env: %s", benchenv.Capture())
+	srv, _ := benchFleet(b)
+	co, err := New(Options{Shards: [][]string{{srv.URL}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	co.Bind(tinyEngine(b, 1))
+	b.Cleanup(co.Close)
+	texts := benchFrontierTexts(8)
+	examples := benchExamples()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frontier := make([]*logic.Clause, len(texts))
+		for j, txt := range texts {
+			c, err := logic.ParseClause(txt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			frontier[j] = c
+		}
+		counts, err := co.CountManyUpTo(context.Background(), frontier, examples, len(examples))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(counts) != len(frontier) {
+			b.Fatalf("%d counts for %d clauses", len(counts), len(frontier))
+		}
+	}
+	b.ReportMetric(float64(len(texts)*len(examples))*float64(b.N)/b.Elapsed().Seconds(), "verdicts/sec")
 }

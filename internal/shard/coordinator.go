@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faultpoint"
@@ -36,6 +37,15 @@ const downAfterFails = 2
 // maxResponseBytes bounds how much of a worker response the coordinator
 // will read.
 const maxResponseBytes = 1 << 24
+
+// Replica wire-protocol states (replica.proto). Unknown replicas are
+// optimistically tried at v2 first; the 404/409 downgrade in sendV2
+// settles them to v1 for the rest of the run.
+const (
+	protoUnknown int32 = 0
+	protoV1Only  int32 = 1
+	protoV2OK    int32 = 2
+)
 
 // Options configures a Coordinator.
 type Options struct {
@@ -67,13 +77,26 @@ type Options struct {
 	// ladder. With it set, losing every worker aborts the run (anytime:
 	// partial theory) instead of degrading to in-process computation.
 	DisableLocalFallback bool
+	// DisableBatch forces per-candidate evaluation: CountManyUpTo loops
+	// clause by clause through the single-candidate path instead of
+	// shipping the frontier in one round. The differential harness uses
+	// it to prove batched and per-candidate transports produce
+	// bit-identical theories; it is also the knob to reach for when
+	// diagnosing a misbehaving fleet.
+	DisableBatch bool
+	// MaxBatchClauses chunks a candidate frontier into wire batches of
+	// at most this many clauses (workers enforce the same cap);
+	// <=0 selects 256.
+	MaxBatchClauses int
 	// JitterSeed seeds retry jitter; 0 selects 1. Jitter shifts
 	// wall-clock only — verdicts are pure, so results never depend on it.
 	JitterSeed int64
 	// Metrics, when non-nil, receives shard.* gauges.
 	Metrics *metrics.Collector
 	// Client, when non-nil, overrides the HTTP client (tests inject an
-	// httptest transport).
+	// httptest transport). When nil the coordinator builds one with a
+	// connection pool sized to the fleet (see newFleetClient) so steady
+	// state re-uses one persistent connection per worker.
 	Client *http.Client
 }
 
@@ -90,20 +113,57 @@ func (o Options) normalized() Options {
 	if o.ReplicaCooldown <= 0 {
 		o.ReplicaCooldown = 2 * time.Second
 	}
+	if o.MaxBatchClauses <= 0 {
+		o.MaxBatchClauses = 256
+	}
 	if o.JitterSeed == 0 {
 		o.JitterSeed = 1
 	}
 	return o
 }
 
-// replica tracks one worker process's passive health.
+// newFleetClient builds the coordinator's default HTTP client: an
+// http.Transport whose idle-connection pool is sized to the whole fleet
+// (MaxIdleConnsPerHost ≥ total replicas ≥ replicas per host), so the
+// steady-state request pattern — every coverage count hits every shard —
+// keeps one warm connection per worker and never churns through dials.
+// The stdlib default of 2 idle conns per host would close and re-open
+// connections on every fan-out wider than 2.
+func newFleetClient(shards [][]string) *http.Client {
+	total := 0
+	for _, reps := range shards {
+		total += len(reps)
+	}
+	perHost := total
+	if perHost < 16 {
+		perHost = 16
+	}
+	return &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        2 * perHost,
+			MaxIdleConnsPerHost: perHost,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+}
+
+// replica tracks one worker process's passive health, its negotiated
+// wire-protocol version, and which example-set dictionaries it holds.
 type replica struct {
 	url string
+
+	// proto is the replica's negotiated wire protocol (protoUnknown
+	// until the first v2 attempt settles it).
+	proto atomic.Int32
 
 	mu        sync.Mutex
 	fails     int
 	down      bool
 	downUntil time.Time
+	// dicts records the example-set fingerprints this replica has
+	// registered; a 410 dict_unknown (worker restarted, dictionary gone)
+	// forgets the entry and the next send re-registers inline.
+	dicts map[string]bool
 }
 
 // noteFailure records a connection-level miss; downAfterFails
@@ -136,9 +196,32 @@ func (r *replica) state(now time.Time) (available, probeDue bool) {
 	return false, now.After(r.downUntil)
 }
 
+func (r *replica) hasDict(fp string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dicts[fp]
+}
+
+func (r *replica) noteDict(fp string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dicts == nil {
+		r.dicts = make(map[string]bool)
+	}
+	r.dicts[fp] = true
+}
+
+func (r *replica) forgetDict(fp string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.dicts, fp)
+}
+
 // Coordinator partitions coverage counts across the worker fleet and
-// implements learn.CoverageTransport. One coordinator serves one
-// learning run's engine (Bind).
+// implements learn.CoverageTransport — both the per-candidate CountUpTo
+// and the batched CountManyUpTo, which ships a whole candidate frontier
+// per shard in one wire-v2 round. One coordinator serves one learning
+// run's engine (Bind).
 type Coordinator struct {
 	opts   Options
 	client *http.Client
@@ -164,7 +247,7 @@ func New(opts Options) (*Coordinator, error) {
 	opts = opts.normalized()
 	client := opts.Client
 	if client == nil {
-		client = &http.Client{}
+		client = newFleetClient(opts.Shards)
 	}
 	shards := make([][]*replica, len(opts.Shards))
 	for i, reps := range opts.Shards {
@@ -199,82 +282,219 @@ func (co *Coordinator) Close() { co.client.CloseIdleConnections() }
 type item struct {
 	e   learn.Example
 	key string
+	pos int // index into the count's examples slice
 }
 
-// CountUpTo implements learn.CoverageTransport: memo-resolved examples
-// are settled locally, the rest fan out to their home shards
-// concurrently, every returned verdict is memoized on the engine, and
-// per-shard counts merge by summation with a final clamp. Because
-// workers resolve every example they are sent and verdicts are pure,
-// the memo state and the returned min(covered, limit) are identical
-// under any interleaving of retries, hedges, and failovers — and
-// identical to a single-process pure-mode run.
+// batchReq is one shard's RPC work order: the active frontier's clause
+// texts and the shard group's ordered example keys, with the group's
+// precomputed dictionary fingerprint. The wire form depends on the
+// replica it lands on — one v2 batch round, or per-clause v1 requests
+// against a downgraded worker.
+type batchReq struct {
+	clauses []string
+	keys    []string
+	dict    string
+}
+
+// CountUpTo implements learn.CoverageTransport's per-candidate call as
+// a frontier of one.
 func (co *Coordinator) CountUpTo(ctx context.Context, c *logic.Clause, examples []learn.Example, limit int) (int, error) {
-	n := len(co.shards)
-	groups := make([][]item, n)
-	covered := 0
-	for _, e := range examples {
-		key := e.String()
-		if v, ok := co.engine.MemoizedCovers(c, key); ok {
-			co.mc.AddNamedGauge("shard.memo_hits", 1)
-			if v {
-				covered++
-			}
-			continue
-		}
-		s := shardFor(key, n)
-		groups[s] = append(groups[s], item{e: e, key: key})
+	ns, err := co.countMany(ctx, []*logic.Clause{c}, examples, limit)
+	if err != nil {
+		return 0, err
 	}
-	clauseText := c.String()
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	for s, grp := range groups {
-		if len(grp) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(s int, grp []item) {
-			defer wg.Done()
-			verdicts, err := co.resolveShard(ctx, c, s, clauseText, grp)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			for j, v := range verdicts {
-				co.engine.MemoizeRemote(c, grp[j].key, v)
-				if v {
-					covered++
-				}
-			}
-		}(s, grp)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return 0, firstErr
-	}
-	if covered > limit {
-		covered = limit
-	}
-	return covered, nil
+	return ns[0], nil
 }
 
-// resolveShard walks the failover ladder for one shard's examples:
+// CountManyUpTo implements learn.CoverageTransport's bulk call: the
+// whole candidate frontier resolves in one RPC round per shard (chunked
+// at MaxBatchClauses). With DisableBatch the frontier degrades to
+// sequential per-candidate counts — same verdicts, same memo state,
+// O(candidates) more RPC rounds.
+func (co *Coordinator) CountManyUpTo(ctx context.Context, clauses []*logic.Clause, examples []learn.Example, limit int) ([]int, error) {
+	if len(clauses) == 0 {
+		return nil, nil
+	}
+	if co.opts.DisableBatch && len(clauses) > 1 {
+		counts := make([]int, len(clauses))
+		for i, c := range clauses {
+			ns, err := co.countMany(ctx, []*logic.Clause{c}, examples, limit)
+			if err != nil {
+				return nil, err
+			}
+			counts[i] = ns[0]
+		}
+		return counts, nil
+	}
+	counts := make([]int, 0, len(clauses))
+	for start := 0; start < len(clauses); start += co.opts.MaxBatchClauses {
+		end := start + co.opts.MaxBatchClauses
+		if end > len(clauses) {
+			end = len(clauses)
+		}
+		ns, err := co.countMany(ctx, clauses[start:end], examples, limit)
+		if err != nil {
+			return nil, err
+		}
+		counts = append(counts, ns...)
+	}
+	return counts, nil
+}
+
+// Verdict states in countMany's resolution matrix.
+const (
+	vUnknown uint8 = 0
+	vFalse   uint8 = 1
+	vTrue    uint8 = 2
+)
+
+// countMany is the merge core shared by both transport calls:
+// memo-resolved (clause, example) pairs are settled locally; clauses
+// with any unresolved pair form the active frontier; each shard whose
+// example group has unresolved work receives the whole frontier — and
+// its FULL example group, memoized pairs included, so the group's
+// dictionary fingerprint stays stable across rounds — in one
+// resolveShard walk. Every returned verdict is memoized on the engine
+// and per-clause counts clamp at limit. Because workers resolve every
+// (clause, example) pair they are sent and verdicts are pure, the memo
+// state and counts are identical under any interleaving of retries,
+// hedges, and failovers — and identical to per-candidate evaluation and
+// to a single-process pure-mode run.
+//
+// The shard fan-out runs under a per-count cancellable context: the
+// first shard to return an error (its ladder already exhausted — the
+// count is doomed) cancels its siblings immediately instead of letting
+// survivors burn their full retry/backoff budgets on a dead run.
+func (co *Coordinator) countMany(ctx context.Context, clauses []*logic.Clause, examples []learn.Example, limit int) ([]int, error) {
+	nShards := len(co.shards)
+	keys := make([]string, len(examples))
+	shardOf := make([]int, len(examples))
+	for j, e := range examples {
+		keys[j] = e.String()
+		shardOf[j] = shardFor(keys[j], nShards)
+	}
+
+	state := make([][]uint8, len(clauses))
+	var active []int
+	for i, c := range clauses {
+		row := make([]uint8, len(examples))
+		misses := false
+		for j, key := range keys {
+			if v, ok := co.engine.MemoizedCovers(c, key); ok {
+				co.mc.AddNamedGauge("shard.memo_hits", 1)
+				if v {
+					row[j] = vTrue
+				} else {
+					row[j] = vFalse
+				}
+			} else {
+				misses = true
+			}
+		}
+		state[i] = row
+		if misses {
+			active = append(active, i)
+		}
+	}
+
+	if len(active) > 0 && len(examples) > 0 {
+		groups := make([][]item, nShards)
+		for j, e := range examples {
+			groups[shardOf[j]] = append(groups[shardOf[j]], item{e: e, key: keys[j], pos: j})
+		}
+		texts := make([]string, len(active))
+		activeClauses := make([]*logic.Clause, len(active))
+		for ai, i := range active {
+			texts[ai] = clauses[i].String()
+			activeClauses[ai] = clauses[i]
+		}
+
+		cctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+		)
+		for s, grp := range groups {
+			if len(grp) == 0 {
+				continue
+			}
+			// Skip shards whose whole group is already settled for every
+			// active clause (beam re-scoring answers entirely from memo).
+			unresolved := false
+		scan:
+			for _, i := range active {
+				for _, it := range grp {
+					if state[i][it.pos] == vUnknown {
+						unresolved = true
+						break scan
+					}
+				}
+			}
+			if !unresolved {
+				continue
+			}
+			gkeys := make([]string, len(grp))
+			for j, it := range grp {
+				gkeys[j] = it.key
+			}
+			req := batchReq{clauses: texts, keys: gkeys, dict: DictFingerprint(gkeys)}
+			wg.Add(1)
+			go func(s int, grp []item, req batchReq) {
+				defer wg.Done()
+				verdicts, err := co.resolveShard(cctx, activeClauses, s, req, grp)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+						// The ladder is exhausted: the whole count fails.
+						// Cancel sibling shards' in-flight retries now.
+						cancel()
+					}
+					return
+				}
+				for ai, i := range active {
+					for j, it := range grp {
+						v := verdicts[ai][j]
+						co.engine.MemoizeRemote(clauses[i], it.key, v)
+						if v {
+							state[i][it.pos] = vTrue
+						} else {
+							state[i][it.pos] = vFalse
+						}
+					}
+				}
+			}(s, grp, req)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+
+	counts := make([]int, len(clauses))
+	for i := range clauses {
+		n := 0
+		for _, st := range state[i] {
+			if st == vTrue {
+				n++
+			}
+		}
+		if n > limit {
+			n = limit
+		}
+		counts[i] = n
+	}
+	return counts, nil
+}
+
+// resolveShard walks the failover ladder for one shard's frontier:
 // home replicas (with retries and hedging) → surviving shards in
 // deterministic rotation → local in-process fallback → ErrShardsLost.
-func (co *Coordinator) resolveShard(ctx context.Context, c *logic.Clause, s int, clauseText string, grp []item) ([]bool, error) {
-	keys := make([]string, len(grp))
-	for j, it := range grp {
-		keys[j] = it.key
-	}
-	req := CoverageRequest{Clause: clauseText, Examples: keys}
-
+// The returned matrix is clauses × grp, positionally aligned.
+func (co *Coordinator) resolveShard(ctx context.Context, clauses []*logic.Clause, s int, req batchReq, grp []item) ([][]bool, error) {
 	verdicts, err := co.tryShard(ctx, s, req)
 	if err == nil {
 		return verdicts, nil
@@ -317,13 +537,17 @@ func (co *Coordinator) resolveShard(ctx context.Context, c *logic.Clause, s int,
 			Site:   fmt.Sprintf("shard:%d", s),
 			Detail: fmt.Sprintf("%d examples computed in-process: %v", len(grp), err),
 		})
-		verdicts := make([]bool, len(grp))
-		for j, it := range grp {
-			v, lerr := co.engine.CoversLocalPooledCtx(ctx, c, it.e)
-			if lerr != nil {
-				return nil, lerr
+		verdicts := make([][]bool, len(clauses))
+		for ci, c := range clauses {
+			row := make([]bool, len(grp))
+			for j, it := range grp {
+				v, lerr := co.engine.CoversLocalPooledCtx(ctx, c, it.e)
+				if lerr != nil {
+					return nil, lerr
+				}
+				row[j] = v
 			}
-			verdicts[j] = v
+			verdicts[ci] = row
 		}
 		return verdicts, nil
 	}
@@ -341,7 +565,7 @@ func (co *Coordinator) resolveShard(ctx context.Context, c *logic.Clause, s int,
 // configured), then retries with exponential backoff + jitter, honoring
 // Retry-After from load-shedding workers. Returns the last error when
 // the attempt budget runs out.
-func (co *Coordinator) tryShard(ctx context.Context, target int, req CoverageRequest) ([]bool, error) {
+func (co *Coordinator) tryShard(ctx context.Context, target int, req batchReq) ([][]bool, error) {
 	reps := co.healthy(target)
 	if len(reps) == 0 {
 		return nil, fmt.Errorf("shard %d: no healthy replicas", target)
@@ -364,7 +588,7 @@ func (co *Coordinator) tryShard(ctx context.Context, target int, req CoverageReq
 		}
 		rep := reps[a%len(reps)]
 		var (
-			verdicts []bool
+			verdicts [][]bool
 			err      error
 		)
 		if a == 0 && co.opts.HedgeDelay > 0 && len(reps) > 1 {
@@ -445,11 +669,17 @@ func isFatal(err error) bool {
 	return errors.As(err, &fe)
 }
 
-// send performs one coverage RPC attempt against one replica. The
-// hedge flag selects the faultpoint site family — hedges fire on
-// wall-clock timers, so they must never consume hit windows tests arm
-// on the deterministic primary-send sites.
-func (co *Coordinator) send(ctx context.Context, target int, rep *replica, req CoverageRequest, hedge bool) ([]bool, time.Duration, error) {
+// send performs one RPC attempt against one replica, speaking whichever
+// wire protocol the replica negotiated: wire v2 (one batched round,
+// dictionary-referenced examples, bitset verdicts) unless the replica
+// is known v1-only, in which case the frontier degrades to per-clause
+// v1 requests. A replica whose v2 support is unknown is tried at v2;
+// 404 (no such route — an old worker) or 409 unsupported_proto settles
+// it to v1 for the rest of the run. The hedge flag selects the
+// faultpoint site family — hedges fire on wall-clock timers, so they
+// must never consume hit windows tests arm on the deterministic
+// primary-send sites.
+func (co *Coordinator) send(ctx context.Context, target int, rep *replica, req batchReq, hedge bool) ([][]bool, time.Duration, error) {
 	site := "shard.rpc.send"
 	if hedge {
 		site = "shard.rpc.hedge"
@@ -462,81 +692,214 @@ func (co *Coordinator) send(ctx context.Context, target int, rep *replica, req C
 		rep.noteFailure(co.opts.ReplicaCooldown)
 		return nil, 0, fmt.Errorf("shard %d: send %s: %w", target, rep.url, err)
 	}
-	co.mc.AddNamedGauge("shard.rpc_sent", 1)
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, 0, fmt.Errorf("shard %d: marshal: %w", target, err)
+	if rep.proto.Load() != protoV1Only {
+		m, ra, err, downgraded := co.sendV2(ctx, target, rep, req, hedge)
+		if !downgraded {
+			return m, ra, err
+		}
+		rep.proto.Store(protoV1Only)
+		co.mc.AddNamedGauge("shard.proto_downgrades", 1)
+		co.engine.RecordEvent(report.Event{
+			Kind:   report.ShardRetried,
+			Site:   fmt.Sprintf("shard.proto:%d", target),
+			Detail: fmt.Sprintf("%s does not speak wire v2; downgraded to per-candidate v1", rep.url),
+		})
 	}
+	return co.sendV1(ctx, target, rep, req)
+}
+
+// sendV2 performs one wire-v2 batch round. The example set travels by
+// dictionary reference once the replica has registered it; a 410
+// dict_unknown (the worker restarted and lost its dictionaries) forgets
+// the registration and re-sends inline in the same attempt. downgraded
+// reports the replica does not speak v2 at all — the caller falls back
+// to v1 and remembers.
+func (co *Coordinator) sendV2(ctx context.Context, target int, rep *replica, req batchReq, hedge bool) (m [][]bool, ra time.Duration, err error, downgraded bool) {
+	if !hedge {
+		if err := faultpoint.Inject(ctx, "shard.rpc.batch"); err != nil {
+			rep.noteFailure(co.opts.ReplicaCooldown)
+			return nil, 0, fmt.Errorf("shard %d: batch send %s: %w", target, rep.url, err), false
+		}
+		if err := faultpoint.Inject(ctx, fmt.Sprintf("shard.rpc.batch:%d", target)); err != nil {
+			rep.noteFailure(co.opts.ReplicaCooldown)
+			return nil, 0, fmt.Errorf("shard %d: batch send %s: %w", target, rep.url, err), false
+		}
+	}
+	inline := req.dict == "" || !rep.hasDict(req.dict)
+	for attempt := 0; attempt < 2; attempt++ {
+		wire := BatchCoverageRequest{Clauses: req.clauses, Dict: req.dict}
+		if inline {
+			wire.Examples = req.keys
+		}
+		status, retryAfter, data, err := co.postJSON(ctx, target, rep, "/v2/coverage", ProtoV2, wire)
+		if err != nil {
+			return nil, 0, err, false
+		}
+		switch status {
+		case http.StatusOK:
+			var br BatchCoverageResponse
+			if err := json.Unmarshal(data, &br); err != nil {
+				return nil, 0, fmt.Errorf("shard %d: decode %s: %w", target, rep.url, err), false
+			}
+			if len(br.Covered) != len(req.clauses) {
+				return nil, 0, fmt.Errorf("shard %d: %s answered %d bitsets for %d clauses", target, rep.url, len(br.Covered), len(req.clauses)), false
+			}
+			m := make([][]bool, len(br.Covered))
+			for i, bs := range br.Covered {
+				row, ok := UnpackBits(bs, len(req.keys))
+				if !ok {
+					return nil, 0, fmt.Errorf("shard %d: %s clause %d bitset is %d bytes for %d examples", target, rep.url, i, len(bs), len(req.keys)), false
+				}
+				m[i] = row
+			}
+			rep.noteSuccess()
+			rep.proto.Store(protoV2OK)
+			if req.dict != "" {
+				if inline {
+					rep.noteDict(req.dict)
+					co.mc.AddNamedGauge("shard.dict_registers", 1)
+				} else {
+					co.mc.AddNamedGauge("shard.dict_hits", 1)
+				}
+			}
+			co.mc.Observe(metrics.HistShardBatchClauses, int64(len(req.clauses)))
+			co.mc.Observe(metrics.HistShardBatchExamples, int64(len(req.keys)))
+			return m, 0, nil, false
+		case http.StatusGone:
+			// The worker lost the dictionary (restart). Re-register inline
+			// in the next loop iteration; a second 410 is a real error.
+			detail, _ := httpx.DecodeError(data)
+			rep.forgetDict(req.dict)
+			if detail.Code == httpx.ErrCodeDictUnknown && !inline {
+				inline = true
+				continue
+			}
+			return nil, 0, fmt.Errorf("shard %d: %s: %s: %s", target, rep.url, detail.Code, detail.Message), false
+		case http.StatusNotFound:
+			// No /v2/coverage route: a pre-batching worker. Not a failure —
+			// a negotiation answer.
+			return nil, 0, nil, true
+		case http.StatusConflict:
+			detail, _ := httpx.DecodeError(data)
+			if detail.Code == httpx.ErrCodeUnsupportedProto {
+				return nil, 0, nil, true
+			}
+			return nil, 0, fatalError{fmt.Errorf("shard %d: %s: config mismatch: %s", target, rep.url, detail.Message)}, false
+		case http.StatusServiceUnavailable:
+			detail, _ := httpx.DecodeError(data)
+			return nil, retryAfter, fmt.Errorf("shard %d: %s overloaded: %s", target, rep.url, detail.Message), false
+		default:
+			rep.noteFailure(co.opts.ReplicaCooldown)
+			if detail, ok := httpx.DecodeError(data); ok {
+				return nil, 0, fmt.Errorf("shard %d: %s: %s: %s", target, rep.url, detail.Code, detail.Message), false
+			}
+			return nil, 0, fmt.Errorf("shard %d: %s: status %d", target, rep.url, status), false
+		}
+	}
+	return nil, 0, fmt.Errorf("shard %d: %s: dictionary re-registration looped", target, rep.url), false
+}
+
+// sendV1 degrades one batch to per-clause wire-v1 requests against a
+// replica that does not speak v2 — the mixed-fleet compatibility path.
+// Verdict semantics are identical; the frontier just pays one RPC round
+// per clause.
+func (co *Coordinator) sendV1(ctx context.Context, target int, rep *replica, req batchReq) ([][]bool, time.Duration, error) {
+	m := make([][]bool, len(req.clauses))
+	for i, ct := range req.clauses {
+		status, retryAfter, data, err := co.postJSON(ctx, target, rep, "/v1/coverage", ProtoV1, CoverageRequest{Clause: ct, Examples: req.keys})
+		if err != nil {
+			return nil, 0, err
+		}
+		switch status {
+		case http.StatusOK:
+			var cr CoverageResponse
+			if err := json.Unmarshal(data, &cr); err != nil {
+				return nil, 0, fmt.Errorf("shard %d: decode %s: %w", target, rep.url, err)
+			}
+			if len(cr.Covered) != len(req.keys) {
+				return nil, 0, fmt.Errorf("shard %d: %s answered %d verdicts for %d examples", target, rep.url, len(cr.Covered), len(req.keys))
+			}
+			m[i] = cr.Covered
+		case http.StatusConflict:
+			detail, _ := httpx.DecodeError(data)
+			return nil, 0, fatalError{fmt.Errorf("shard %d: %s: config mismatch: %s", target, rep.url, detail.Message)}
+		case http.StatusServiceUnavailable:
+			detail, _ := httpx.DecodeError(data)
+			return nil, retryAfter, fmt.Errorf("shard %d: %s overloaded: %s", target, rep.url, detail.Message)
+		default:
+			rep.noteFailure(co.opts.ReplicaCooldown)
+			if detail, ok := httpx.DecodeError(data); ok {
+				return nil, 0, fmt.Errorf("shard %d: %s: %s: %s", target, rep.url, detail.Code, detail.Message)
+			}
+			return nil, 0, fmt.Errorf("shard %d: %s: status %d", target, rep.url, status)
+		}
+	}
+	rep.noteSuccess()
+	return m, 0, nil
+}
+
+// postJSON performs one HTTP POST attempt: marshal (wire-bytes
+// accounting on both directions), per-attempt timeout, fingerprint and
+// protocol-version headers, the shard.rpc.recv faultpoint sites, and a
+// bounded body read. Connection-level failures bench the replica;
+// status handling is the caller's. retryAfter carries a 503 response's
+// Retry-After hint, when one was sent.
+func (co *Coordinator) postJSON(ctx context.Context, target int, rep *replica, path, proto string, payload any) (status int, retryAfter time.Duration, data []byte, err error) {
+	co.mc.AddNamedGauge("shard.rpc_sent", 1)
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("shard %d: marshal: %w", target, err)
+	}
+	co.mc.AddNamedGauge("shard.wire_bytes_sent", int64(len(body)))
 	attemptCtx, cancel := context.WithTimeout(ctx, co.opts.RequestTimeout)
 	defer cancel()
-	hreq, err := http.NewRequestWithContext(attemptCtx, http.MethodPost, rep.url+"/v1/coverage", bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(attemptCtx, http.MethodPost, rep.url+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, 0, fmt.Errorf("shard %d: request: %w", target, err)
+		return 0, 0, nil, fmt.Errorf("shard %d: request: %w", target, err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(ProtoHeader, proto)
 	if co.opts.Fingerprint != "" {
 		hreq.Header.Set(FingerprintHeader, co.opts.Fingerprint)
 	}
 	resp, err := co.client.Do(hreq)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
-			return nil, 0, cerr
+			return 0, 0, nil, cerr
 		}
 		rep.noteFailure(co.opts.ReplicaCooldown)
-		return nil, 0, fmt.Errorf("shard %d: %s: %w", target, rep.url, err)
+		return 0, 0, nil, fmt.Errorf("shard %d: %s: %w", target, rep.url, err)
 	}
 	defer resp.Body.Close()
 	if err := faultpoint.Inject(ctx, "shard.rpc.recv"); err != nil {
 		rep.noteFailure(co.opts.ReplicaCooldown)
-		return nil, 0, fmt.Errorf("shard %d: recv %s: %w", target, rep.url, err)
+		return 0, 0, nil, fmt.Errorf("shard %d: recv %s: %w", target, rep.url, err)
 	}
 	if err := faultpoint.Inject(ctx, fmt.Sprintf("shard.rpc.recv:%d", target)); err != nil {
 		rep.noteFailure(co.opts.ReplicaCooldown)
-		return nil, 0, fmt.Errorf("shard %d: recv %s: %w", target, rep.url, err)
+		return 0, 0, nil, fmt.Errorf("shard %d: recv %s: %w", target, rep.url, err)
 	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	data, err = io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
 	if err != nil {
 		rep.noteFailure(co.opts.ReplicaCooldown)
-		return nil, 0, fmt.Errorf("shard %d: read %s: %w", target, rep.url, err)
+		return 0, 0, nil, fmt.Errorf("shard %d: read %s: %w", target, rep.url, err)
 	}
-	switch resp.StatusCode {
-	case http.StatusOK:
-		var cr CoverageResponse
-		if err := json.Unmarshal(data, &cr); err != nil {
-			return nil, 0, fmt.Errorf("shard %d: decode %s: %w", target, rep.url, err)
+	co.mc.AddNamedGauge("shard.wire_bytes_recv", int64(len(data)))
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
 		}
-		if len(cr.Covered) != len(req.Examples) {
-			return nil, 0, fmt.Errorf("shard %d: %s answered %d verdicts for %d examples", target, rep.url, len(cr.Covered), len(req.Examples))
-		}
-		rep.noteSuccess()
-		return cr.Covered, 0, nil
-	case http.StatusConflict:
-		detail, _ := httpx.DecodeError(data)
-		return nil, 0, fatalError{fmt.Errorf("shard %d: %s: config mismatch: %s", target, rep.url, detail.Message)}
-	case http.StatusServiceUnavailable:
-		// Load shedding, not death: honor Retry-After, do not bench.
-		var ra time.Duration
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			ra = time.Duration(secs) * time.Second
-		}
-		detail, _ := httpx.DecodeError(data)
-		return nil, ra, fmt.Errorf("shard %d: %s overloaded: %s", target, rep.url, detail.Message)
-	default:
-		rep.noteFailure(co.opts.ReplicaCooldown)
-		if detail, ok := httpx.DecodeError(data); ok {
-			return nil, 0, fmt.Errorf("shard %d: %s: %s: %s", target, rep.url, detail.Code, detail.Message)
-		}
-		return nil, 0, fmt.Errorf("shard %d: %s: status %d", target, rep.url, resp.StatusCode)
 	}
+	return resp.StatusCode, retryAfter, data, nil
 }
 
 // sendHedged races a primary attempt against a hedge fired after
 // HedgeDelay: first answer wins, the loser's context is cancelled. A
 // primary failure before the timer returns immediately — the retry
 // ladder, not the hedge, handles hard failures.
-func (co *Coordinator) sendHedged(ctx context.Context, target int, primary, secondary *replica, req CoverageRequest) ([]bool, time.Duration, error) {
+func (co *Coordinator) sendHedged(ctx context.Context, target int, primary, secondary *replica, req batchReq) ([][]bool, time.Duration, error) {
 	type result struct {
-		v   []bool
+		v   [][]bool
 		ra  time.Duration
 		err error
 	}

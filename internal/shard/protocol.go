@@ -31,7 +31,8 @@
 // Every recovery is recorded in the run's Result.Report
 // (ShardRetried / ShardFellBackLocal / ShardLost) and surfaced as
 // shard.* metrics. Fault injection sites: shard.rpc.send[:<shard>],
-// shard.rpc.recv[:<shard>], shard.rpc.hedge[:<shard>] on the
+// shard.rpc.recv[:<shard>], shard.rpc.hedge[:<shard>], and — fired only
+// for wire-v2 batch sends — shard.rpc.batch[:<shard>] on the
 // coordinator, shard.crash[:<id>] in the worker handler.
 package shard
 
@@ -50,6 +51,23 @@ import (
 // from the wrong universe.
 const FingerprintHeader = "X-Shard-Fingerprint"
 
+// ProtoHeader carries the wire-protocol version on every coverage RPC.
+// Version negotiation is explicit: a v2 coordinator first tries
+// POST /v2/coverage with "X-Shard-Proto: 2"; a worker that predates the
+// route answers 404 and the coordinator downgrades that replica to v1
+// per-candidate requests for the rest of the run. A worker that sees a
+// version it does not speak answers a structured 409
+// (httpx.ErrCodeUnsupportedProto) instead of guessing.
+const ProtoHeader = "X-Shard-Proto"
+
+// Wire-protocol versions. V1 is one clause per request with []bool JSON
+// verdicts; V2 is the batched frontier protocol (BatchCoverageRequest)
+// with dictionary-referenced example sets and packed bitset verdicts.
+const (
+	ProtoV1 = "1"
+	ProtoV2 = "2"
+)
+
 // CoverageRequest is one shard RPC: a candidate clause and the examples
 // (ground target literals, string form) whose coverage it should test.
 // The count limit deliberately does not travel: workers resolve every
@@ -64,6 +82,77 @@ type CoverageRequest struct {
 type CoverageResponse struct {
 	Covered []bool `json:"covered"`
 	Tests   int64  `json:"tests"`
+}
+
+// BatchCoverageRequest is one wire-v2 shard RPC: the whole candidate
+// frontier for a shard in one round. The example set travels either
+// inline (Examples) or by reference (Dict alone): the coordinator
+// registers a shard's stable example range once — keyed by the set's
+// fingerprint — and subsequent frontiers reference it by id instead of
+// re-shipping up to 10⁶ example-key strings per evaluation. When both
+// are present the worker (re-)registers the set under Dict and answers
+// in the same round; a Dict the worker does not hold (it restarted)
+// answers 410 dict_unknown and the coordinator re-sends inline.
+type BatchCoverageRequest struct {
+	Clauses []string `json:"clauses"`
+	// Dict is the example set's fingerprint (DictFingerprint over the
+	// ordered keys). Optional: empty means the set travels inline only.
+	Dict string `json:"dict,omitempty"`
+	// Examples carries the ordered example keys inline; empty references
+	// a previously registered Dict.
+	Examples []string `json:"examples,omitempty"`
+}
+
+// BatchCoverageResponse carries one packed verdict bitset per requested
+// clause — bit j of Covered[i] (LSB-first) is clause i's verdict on
+// example j of the request's example set — plus the worker's
+// subsumption-test count (observability only). Bitsets ride JSON as
+// base64, so a 10⁶-example set costs ~167KB per clause instead of the
+// multi-megabyte []bool array v1 would ship.
+type BatchCoverageResponse struct {
+	Covered [][]byte `json:"covered"`
+	Tests   int64    `json:"tests"`
+}
+
+// DictFingerprint fingerprints an ordered example-key list for the
+// wire-v2 example-set dictionary. Order matters — verdict bitsets align
+// positionally — so the hash is over the length-prefixed keys in
+// sequence. SHA-256 (truncated like EngineFingerprint) keeps accidental
+// collisions out of the question: a collision would silently misalign
+// verdicts, so the cheap-hash shortcut is not taken here.
+func DictFingerprint(keys []string) string {
+	h := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintf(h, "%d:", len(k))
+		h.Write([]byte(k))
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// PackBits packs verdicts into an LSB-first bitset of ⌈n/8⌉ bytes.
+func PackBits(vs []bool) []byte {
+	out := make([]byte, (len(vs)+7)/8)
+	for i, v := range vs {
+		if v {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out
+}
+
+// UnpackBits expands an LSB-first bitset back to n verdicts; ok is
+// false when the bitset's length does not match n.
+func UnpackBits(bs []byte, n int) ([]bool, bool) {
+	if len(bs) != (n+7)/8 {
+		return nil, false
+	}
+	out := make([]bool, n)
+	for i := range out {
+		if bs[i/8]&(1<<uint(i%8)) != 0 {
+			out[i] = true
+		}
+	}
+	return out, true
 }
 
 // EngineFingerprint hashes everything that determines a coverage

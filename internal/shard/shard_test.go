@@ -24,6 +24,13 @@ import (
 // tinyWorld builds a minimal advisedBy task: students and professors
 // co-publish exactly when advising.
 func tinyWorld(t testing.TB) (*db.Database, []learn.Example, []learn.Example) {
+	return sizedWorld(t, 4)
+}
+
+// sizedWorld is tinyWorld scaled to n advisor pairs (2n examples): the
+// wire-savings measurement needs per-shard example sets large enough
+// that protocol overhead is not dominated by HTTP framing noise.
+func sizedWorld(t testing.TB, n int) (*db.Database, []learn.Example, []learn.Example) {
 	t.Helper()
 	s := db.NewSchema()
 	s.MustAdd("student", "stud")
@@ -31,7 +38,7 @@ func tinyWorld(t testing.TB) (*db.Database, []learn.Example, []learn.Example) {
 	s.MustAdd("publication", "title", "person")
 	d := db.New(s)
 	var pos, neg []learn.Example
-	for i := 0; i < 4; i++ {
+	for i := 0; i < n; i++ {
 		st := fmt.Sprintf("s%02d", i)
 		pr := fmt.Sprintf("p%02d", i)
 		d.MustInsert("student", st)
@@ -39,7 +46,7 @@ func tinyWorld(t testing.TB) (*db.Database, []learn.Example, []learn.Example) {
 		d.MustInsert("publication", fmt.Sprintf("t%02d", i), st)
 		d.MustInsert("publication", fmt.Sprintf("t%02d", i), pr)
 		pos = append(pos, logic.NewLiteral("advisedBy", logic.Const(st), logic.Const(pr)))
-		neg = append(neg, logic.NewLiteral("advisedBy", logic.Const(st), logic.Const(fmt.Sprintf("p%02d", (i+1)%4))))
+		neg = append(neg, logic.NewLiteral("advisedBy", logic.Const(st), logic.Const(fmt.Sprintf("p%02d", (i+1)%n))))
 	}
 	return d, pos, neg
 }
@@ -47,6 +54,14 @@ func tinyWorld(t testing.TB) (*db.Database, []learn.Example, []learn.Example) {
 func tinyEngine(t testing.TB, subSeed int64) *learn.CoverageEngine {
 	t.Helper()
 	d, _, _ := tinyWorld(t)
+	return worldEngine(t, d, subSeed)
+}
+
+// worldEngine compiles the advisedBy bias over d and wraps it in a
+// coverage engine — one call per worker (and one for the coordinator's
+// bound engine), all fingerprint-identical by construction.
+func worldEngine(t testing.TB, d *db.Database, subSeed int64) *learn.CoverageEngine {
+	t.Helper()
 	b := bias.MustParse(`
 		advisedBy(T1,T2)
 		student(T1)
@@ -235,13 +250,30 @@ func TestWorkerEndpoints(t *testing.T) {
 	})
 }
 
-// stubWorker answers coverage RPCs with canned all-true verdicts via fn
-// (nil fn = default behavior), counting requests.
+// stubWorker answers coverage RPCs with canned all-false verdicts via
+// fn (nil fn = default behavior), counting requests. The default leg
+// speaks both wire versions — v2 batches get zero bitsets, dict-only
+// requests the honest 410 — so coordinator tests exercise whichever
+// protocol the coordinator picks.
 func stubWorker(fn func(w http.ResponseWriter, r *http.Request, calls int64) bool) (*httptest.Server, *atomic.Int64) {
 	var calls atomic.Int64
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		n := calls.Add(1)
 		if fn != nil && fn(w, r, n) {
+			return
+		}
+		if r.URL.Path == "/v2/coverage" {
+			var req BatchCoverageRequest
+			json.NewDecoder(r.Body).Decode(&req)
+			if len(req.Examples) == 0 {
+				httpx.Fail(w, http.StatusGone, httpx.ErrCodeDictUnknown, errors.New("stub holds no dictionaries"))
+				return
+			}
+			covered := make([][]byte, len(req.Clauses))
+			for i := range covered {
+				covered[i] = PackBits(make([]bool, len(req.Examples)))
+			}
+			httpx.WriteJSON(w, http.StatusOK, BatchCoverageResponse{Covered: covered, Tests: 1})
 			return
 		}
 		var req CoverageRequest

@@ -26,6 +26,13 @@ type WorkerOptions struct {
 	MaxConcurrent int
 	// MaxBatch caps examples per request; <=0 selects 4096.
 	MaxBatch int
+	// MaxBatchClauses caps frontier clauses per wire-v2 batch request;
+	// <=0 selects 256 (the coordinator chunks at the same default).
+	MaxBatchClauses int
+	// MaxDicts bounds registered example-set dictionaries; the oldest
+	// registration is evicted first (a coordinator whose dict was
+	// evicted simply re-registers on the 410). <=0 selects 128.
+	MaxDicts int
 	// RequestTimeout bounds one coverage request's work; <=0 selects 30s.
 	RequestTimeout time.Duration
 	// DrainTimeout bounds graceful shutdown; <=0 selects the httpx
@@ -40,6 +47,12 @@ func (o WorkerOptions) normalized() WorkerOptions {
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 4096
 	}
+	if o.MaxBatchClauses <= 0 {
+		o.MaxBatchClauses = 256
+	}
+	if o.MaxDicts <= 0 {
+		o.MaxDicts = 128
+	}
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 30 * time.Second
 	}
@@ -47,12 +60,15 @@ func (o WorkerOptions) normalized() WorkerOptions {
 }
 
 // Worker is one shard-worker service: a coverage engine behind the
-// httpx substrate. It answers POST /v1/coverage with pure per-example
-// verdicts (every example resolved, no count limit — see the package
-// comment's merge contract), GET /healthz (liveness: the process is
-// up), GET /readyz (readiness: not draining; reports fingerprint and
-// cache heat so the coordinator's revival probe can check config
-// parity), and GET /metrics.
+// httpx substrate. It answers POST /v1/coverage (one clause, []bool
+// verdicts) and POST /v2/coverage (a whole candidate frontier with
+// dictionary-referenced example sets and packed bitset verdicts) with
+// pure per-example verdicts — every example resolved, no count limit;
+// see the package comment's merge contract — plus GET /healthz
+// (liveness: the process is up), GET /readyz (readiness: not draining
+// and not mid-preload; reports fingerprint, cache heat, and wire
+// protocol so the coordinator's revival probe can check config parity),
+// and GET /metrics.
 type Worker struct {
 	id     string
 	engine *learn.CoverageEngine
@@ -61,11 +77,19 @@ type Worker struct {
 	lim    *httpx.Limiter
 	mux    *http.ServeMux
 
-	draining atomic.Bool
+	draining   atomic.Bool
+	preloading atomic.Bool
+	preloaded  atomic.Int64
 
 	mu       sync.Mutex
 	clauses  map[string]*logic.Clause
 	examples map[string]learn.Example
+	// dicts holds registered example sets keyed by DictFingerprint;
+	// dictOrder tracks registration order for FIFO eviction at MaxDicts.
+	// Lost dictionaries are only a performance event: the coordinator
+	// re-sends the set inline on the 410.
+	dicts     map[string][]learn.Example
+	dictOrder []string
 }
 
 // NewWorker wraps engine as shard worker id. The engine must be built
@@ -82,9 +106,11 @@ func NewWorker(id string, engine *learn.CoverageEngine, fp string, opts WorkerOp
 		lim:      httpx.NewLimiter(opts.MaxConcurrent),
 		clauses:  make(map[string]*logic.Clause),
 		examples: make(map[string]learn.Example),
+		dicts:    make(map[string][]learn.Example),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/coverage", w.handleCoverage)
+	mux.HandleFunc("POST /v2/coverage", w.handleBatchCoverage)
 	mux.HandleFunc("GET /healthz", w.handleHealth)
 	mux.HandleFunc("GET /readyz", w.handleReady)
 	mux.HandleFunc("GET /metrics", w.handleMetrics)
@@ -104,6 +130,49 @@ func (w *Worker) Fingerprint() string { return w.fp }
 // coverage requests get DrainTimeout to finish.
 func (w *Worker) Serve(ctx context.Context, ln net.Listener) error {
 	return httpx.Serve(ctx, ln, w.mux, w.opts.DrainTimeout, func() { w.draining.Store(true) })
+}
+
+// BeginPreload flips the worker not-ready before Serve starts, so a
+// coordinator probing /readyz during warm-up waits instead of routing
+// cold-cache traffic. Preload clears it when the warm-up finishes.
+func (w *Worker) BeginPreload() { w.preloading.Store(true) }
+
+// Preload warms the worker's ground-BC cache for its owned example
+// range: every example whose key hashes to shardIndex (out of
+// shardCount; shardCount <= 1 or shardIndex < 0 warms everything) gets
+// its bottom clause compiled before the first RPC arrives, converting
+// first-request latency spikes into startup time. Returns how many BCs
+// were built. Isolated per-example build failures are skipped — the
+// request path reports them with full context if they are ever asked
+// for — but a cancelled context aborts the warm-up.
+func (w *Worker) Preload(ctx context.Context, examples []learn.Example, shardIndex, shardCount int) (int, error) {
+	defer w.preloading.Store(false)
+	n := 0
+	for _, e := range examples {
+		if shardCount > 1 && shardIndex >= 0 && shardFor(e.String(), shardCount) != shardIndex {
+			continue
+		}
+		if _, err := w.engine.GroundBCCtx(ctx, e); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return n, cerr
+			}
+			continue
+		}
+		n++
+		w.preloaded.Store(int64(n))
+	}
+	w.opts.Metrics.AddNamedGauge("shard.worker.preloaded_bcs", int64(n))
+	return n, nil
+}
+
+// protoOK validates the request's wire-protocol version header against
+// the endpoint's version. An absent header is accepted — the route
+// already names the version — but a header naming a different version
+// is a coordinator/worker disagreement that must surface, not be
+// guessed around.
+func protoOK(r *http.Request, want string) bool {
+	got := r.Header.Get(ProtoHeader)
+	return got == "" || got == want
 }
 
 // parseClause resolves clause text to a canonical *logic.Clause. The
@@ -148,17 +217,54 @@ func (w *Worker) parseExample(s string) (learn.Example, error) {
 	return e, nil
 }
 
-func (w *Worker) handleCoverage(rw http.ResponseWriter, r *http.Request) {
-	// Fault sites for chaos tests: a fault here stands in for a worker
-	// that dies mid-request (the multi-process smoke test kills for
-	// real). The error answer is 500, which coordinators treat as "this
-	// replica is gone" — retry, fail over, or fall back.
+// storeDict registers an example set under its fingerprint, evicting
+// the oldest registration beyond MaxDicts.
+func (w *Worker) storeDict(fp string, exs []learn.Example) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.dicts[fp]; ok {
+		w.dicts[fp] = exs
+		return
+	}
+	w.dicts[fp] = exs
+	w.dictOrder = append(w.dictOrder, fp)
+	for len(w.dictOrder) > w.opts.MaxDicts {
+		evict := w.dictOrder[0]
+		w.dictOrder = w.dictOrder[1:]
+		delete(w.dicts, evict)
+	}
+}
+
+func (w *Worker) lookupDict(fp string) ([]learn.Example, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	exs, ok := w.dicts[fp]
+	return exs, ok
+}
+
+// crashFault fires the worker's chaos faultpoints; they stand in for a
+// worker that dies mid-request (the multi-process smoke test kills for
+// real). The error answer is 500, which coordinators treat as "this
+// replica is gone" — retry, fail over, or fall back.
+func (w *Worker) crashFault(rw http.ResponseWriter, r *http.Request) bool {
 	if err := faultpoint.Inject(r.Context(), "shard.crash"); err != nil {
 		httpx.Fail(rw, http.StatusInternalServerError, httpx.ErrCodeInternal, err)
-		return
+		return false
 	}
 	if err := faultpoint.Inject(r.Context(), "shard.crash:"+w.id); err != nil {
 		httpx.Fail(rw, http.StatusInternalServerError, httpx.ErrCodeInternal, err)
+		return false
+	}
+	return true
+}
+
+func (w *Worker) handleCoverage(rw http.ResponseWriter, r *http.Request) {
+	if !w.crashFault(rw, r) {
+		return
+	}
+	if !protoOK(r, ProtoV1) {
+		httpx.Fail(rw, http.StatusConflict, httpx.ErrCodeUnsupportedProto,
+			fmt.Errorf("shard %s: /v1/coverage speaks wire v1, request declared %q", w.id, r.Header.Get(ProtoHeader)))
 		return
 	}
 	if got := r.Header.Get(FingerprintHeader); got != "" && got != w.fp {
@@ -221,6 +327,179 @@ func (w *Worker) handleCoverage(rw http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleBatchCoverage answers wire v2: the shard's whole candidate
+// frontier in one request, the example set inline or by dictionary
+// reference, verdicts as one packed bitset per clause.
+func (w *Worker) handleBatchCoverage(rw http.ResponseWriter, r *http.Request) {
+	if !w.crashFault(rw, r) {
+		return
+	}
+	if !protoOK(r, ProtoV2) {
+		httpx.Fail(rw, http.StatusConflict, httpx.ErrCodeUnsupportedProto,
+			fmt.Errorf("shard %s: /v2/coverage speaks wire v2, request declared %q", w.id, r.Header.Get(ProtoHeader)))
+		return
+	}
+	if got := r.Header.Get(FingerprintHeader); got != "" && got != w.fp {
+		httpx.Fail(rw, http.StatusConflict, httpx.ErrCodeConfigMismatch,
+			fmt.Errorf("shard %s: coordinator fingerprint %s != worker %s (different task/options?)", w.id, got, w.fp))
+		return
+	}
+	if !w.lim.Acquire(r.Context()) {
+		httpx.Fail(rw, http.StatusServiceUnavailable, httpx.ErrCodeOverloaded,
+			fmt.Errorf("shard %s: %d requests in flight", w.id, w.lim.Cap()))
+		return
+	}
+	defer w.lim.Release()
+
+	var req BatchCoverageRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		httpx.Fail(rw, http.StatusBadRequest, httpx.ErrCodeBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.Clauses) == 0 {
+		httpx.Fail(rw, http.StatusBadRequest, httpx.ErrCodeBadRequest, errors.New("batch has no clauses"))
+		return
+	}
+	if len(req.Clauses) > w.opts.MaxBatchClauses {
+		httpx.Fail(rw, http.StatusRequestEntityTooLarge, httpx.ErrCodeBatchTooLarge,
+			fmt.Errorf("%d clauses exceeds max batch %d", len(req.Clauses), w.opts.MaxBatchClauses))
+		return
+	}
+
+	var exs []learn.Example
+	switch {
+	case len(req.Examples) > 0:
+		if len(req.Examples) > w.opts.MaxBatch {
+			httpx.Fail(rw, http.StatusRequestEntityTooLarge, httpx.ErrCodeBatchTooLarge,
+				fmt.Errorf("%d examples exceeds max batch %d", len(req.Examples), w.opts.MaxBatch))
+			return
+		}
+		exs = make([]learn.Example, len(req.Examples))
+		for i, es := range req.Examples {
+			e, err := w.parseExample(es)
+			if err != nil {
+				httpx.Fail(rw, http.StatusBadRequest, httpx.ErrCodeBadRequest, fmt.Errorf("example %d: %w", i, err))
+				return
+			}
+			exs[i] = e
+		}
+		if req.Dict != "" {
+			w.storeDict(req.Dict, exs)
+			w.opts.Metrics.AddNamedGauge("shard.worker.dict_registers", 1)
+		}
+	case req.Dict != "":
+		var ok bool
+		exs, ok = w.lookupDict(req.Dict)
+		if !ok {
+			// Typically: this process restarted and its dictionaries died
+			// with it. 410 tells the coordinator to re-send inline.
+			httpx.Fail(rw, http.StatusGone, httpx.ErrCodeDictUnknown,
+				fmt.Errorf("shard %s: example-set dictionary %s not registered", w.id, req.Dict))
+			return
+		}
+	default:
+		httpx.Fail(rw, http.StatusBadRequest, httpx.ErrCodeBadRequest, errors.New("batch has neither examples nor dict"))
+		return
+	}
+
+	clauses := make([]*logic.Clause, len(req.Clauses))
+	for i, cs := range req.Clauses {
+		c, err := w.parseClause(cs)
+		if err != nil {
+			httpx.Fail(rw, http.StatusBadRequest, httpx.ErrCodeBadRequest, fmt.Errorf("clause %d: %w", i, err))
+			return
+		}
+		clauses[i] = c
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), w.opts.RequestTimeout)
+	defer cancel()
+
+	before := w.engine.TestCount()
+	verdicts := make([][]bool, len(clauses))
+	for i := range verdicts {
+		verdicts[i] = make([]bool, len(exs))
+	}
+	if err := w.resolveBatch(ctx, clauses, exs, verdicts); err != nil {
+		if status, code, ok := httpx.CtxStatus(err); ok {
+			httpx.Fail(rw, status, code, err)
+			return
+		}
+		httpx.Fail(rw, http.StatusInternalServerError, httpx.ErrCodeInternal, err)
+		return
+	}
+
+	covered := make([][]byte, len(verdicts))
+	for i, row := range verdicts {
+		covered[i] = PackBits(row)
+	}
+	mc := w.opts.Metrics
+	mc.AddNamedGauge("shard.worker.requests", 1)
+	mc.AddNamedGauge("shard.worker.batches", 1)
+	mc.AddNamedGauge("shard.worker.examples", int64(len(exs)))
+	mc.AddNamedGauge("shard.worker.batch_clauses", int64(len(clauses)))
+	httpx.WriteJSON(rw, http.StatusOK, BatchCoverageResponse{
+		Covered: covered,
+		Tests:   int64(w.engine.TestCount() - before),
+	})
+}
+
+// resolveBatch fills the clauses × exs verdict matrix, fanning the
+// flattened (clause, example) pair space across the engine's worker
+// budget. Verdicts are pure and ground-BC builds are first-build-wins,
+// so the parallel schedule cannot change any answer.
+func (w *Worker) resolveBatch(ctx context.Context, clauses []*logic.Clause, exs []learn.Example, verdicts [][]bool) error {
+	pairs := len(clauses) * len(exs)
+	nw := w.engine.Workers()
+	if nw > pairs {
+		nw = pairs
+	}
+	if nw <= 1 {
+		for ci, c := range clauses {
+			for ei, e := range exs {
+				v, err := w.engine.CoversLocalPooledCtx(ctx, c, e)
+				if err != nil {
+					return err
+				}
+				verdicts[ci][ei] = v
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		stop     atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for g := 0; g < nw; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for p := g; p < pairs; p += nw {
+				if stop.Load() {
+					return
+				}
+				ci, ei := p/len(exs), p%len(exs)
+				v, err := w.engine.CoversLocalPooledCtx(ctx, clauses[ci], exs[ei])
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					stop.Store(true)
+					return
+				}
+				verdicts[ci][ei] = v
+			}
+		}(g)
+	}
+	wg.Wait()
+	return firstErr
+}
+
 func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
 	httpx.WriteJSON(rw, http.StatusOK, map[string]any{"status": "ok", "shard": w.id})
 }
@@ -231,11 +510,18 @@ func (w *Worker) handleReady(rw http.ResponseWriter, r *http.Request) {
 			errors.New("shard "+w.id+": draining"))
 		return
 	}
+	if w.preloading.Load() {
+		httpx.Fail(rw, http.StatusServiceUnavailable, httpx.ErrCodeNotReady,
+			errors.New("shard "+w.id+": preloading ground BCs"))
+		return
+	}
 	httpx.WriteJSON(rw, http.StatusOK, map[string]any{
 		"status":      "ready",
 		"shard":       w.id,
 		"fingerprint": w.fp,
 		"cached_bcs":  w.engine.CachedBCs(),
+		"preloaded":   w.preloaded.Load(),
+		"proto":       2,
 	})
 }
 
