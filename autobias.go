@@ -387,6 +387,11 @@ type Result struct {
 	// Graph is the type graph behind an induced bias (MethodAutoBias
 	// only).
 	Graph *TypeGraph
+	// INDs are the inclusion dependencies the induced bias was built from
+	// (MethodAutoBias only; nil otherwise). Kept so incremental theory
+	// repair (RepairCtx) can refresh them after a data batch instead of
+	// rediscovering from scratch.
+	INDs []IND
 	// Elapsed is the learning wall-clock (excluding bias induction,
 	// reported separately as BiasTime to mirror §6.1's preprocessing
 	// accounting).
@@ -468,6 +473,7 @@ func (r *Result) BuildArtifact(task Task, data ModelDataRef) (*ModelArtifact, er
 		Symbols:           r.engine.Interner().Symbols(),
 		SchemaFingerprint: model.Fingerprint(task.DB.Schema(), task.Target, task.TargetAttrs),
 		Data:              data,
+		DataVersion:       task.DB.Version(),
 		BuildLog:          r.engine.Builder().BuildLog(),
 		// An interrupted run consumed RNG draws its log cannot replay
 		// (the abandoned build never completed), so the artifact carries
@@ -535,16 +541,23 @@ func ExecuteClause(d *Database, c *Clause, limit int) ([]Example, error) {
 // learning. For MethodAutoBias it runs IND discovery and Algorithm 3 and
 // also returns the type graph.
 func BuildBias(task Task, opts Options) (*Bias, *TypeGraph, error) {
+	b, graph, _, err := buildBiasFull(task, opts)
+	return b, graph, err
+}
+
+// buildBiasFull is BuildBias keeping the INDs an induced bias was built
+// from, so learning results can carry them for incremental repair.
+func buildBiasFull(task Task, opts Options) (*Bias, *TypeGraph, []IND, error) {
 	switch opts.method() {
 	case MethodCastor:
-		return bias.CastorDefault(task.DB.Schema(), task.Target, len(task.TargetAttrs)), nil, nil
+		return bias.CastorDefault(task.DB.Schema(), task.Target, len(task.TargetAttrs)), nil, nil, nil
 	case MethodNoConst:
-		return bias.NoConstants(task.DB.Schema(), task.Target, len(task.TargetAttrs)), nil, nil
+		return bias.NoConstants(task.DB.Schema(), task.Target, len(task.TargetAttrs)), nil, nil, nil
 	case MethodManual, MethodAleph:
 		if task.Manual == nil {
-			return nil, nil, fmt.Errorf("autobias: method %s needs Task.Manual", opts.method())
+			return nil, nil, nil, fmt.Errorf("autobias: method %s needs Task.Manual", opts.method())
 		}
-		return task.Manual, nil, nil
+		return task.Manual, nil, nil, nil
 	case MethodAutoBias:
 		res, err := bias.Induce(task.DB, task.Target, task.TargetAttrs, examplesToTuples(task.Pos), bias.InduceOptions{
 			INDs:        opts.INDs,
@@ -553,11 +566,11 @@ func BuildBias(task Task, opts Options) (*Bias, *TypeGraph, error) {
 			Metrics:     opts.Collector,
 		})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return res.Bias, res.Graph, nil
+		return res.Bias, res.Graph, res.INDs, nil
 	}
-	return nil, nil, fmt.Errorf("autobias: unknown method %q", opts.Method)
+	return nil, nil, nil, fmt.Errorf("autobias: unknown method %q", opts.Method)
 }
 
 func constantThreshold(opts Options) bias.ConstantThreshold {
@@ -587,7 +600,7 @@ func LearnCtx(ctx context.Context, task Task, opts Options) (*Result, error) {
 	opts.Collector = mc
 
 	biasStart := time.Now()
-	b, graph, err := BuildBias(task, opts)
+	b, graph, inds, err := buildBiasFull(task, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -598,7 +611,7 @@ func LearnCtx(ctx context.Context, task Task, opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{Bias: b, Graph: graph, BiasTime: biasTime, db: task.DB, metrics: mc}
+	res := &Result{Bias: b, Graph: graph, INDs: inds, BiasTime: biasTime, db: task.DB, metrics: mc}
 	start := time.Now()
 	if opts.method() == MethodAleph {
 		if opts.Shard != nil {

@@ -1,0 +1,396 @@
+// Differential tests for the incremental-repair contract (DESIGN.md
+// §16): repair(theory, batch) must be semantically equivalent to a full
+// from-scratch re-learn on the post-batch database — bit-identical
+// theories when the repair path runs, identical held-out verdicts
+// always — for insert and delete batches, at workers 1/4/8, and across
+// the sharded transport. Chaos legs crash the commit and the repair at
+// injected faultpoints and prove the retry stitches to the reference.
+package autobias_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	autobias "repro"
+	"repro/internal/faultpoint"
+	"repro/internal/testkit"
+)
+
+// liveTask builds the repair suite's learning problem: the small UW
+// instance the other differential suites use, with held-out examples
+// reserved for verdict comparison.
+func liveTask(t *testing.T) (autobias.Task, []autobias.Example) {
+	t.Helper()
+	ds, err := autobias.GenerateDataset("uw", 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := autobias.TaskFromDataset(ds)
+	heldOut := append(append([]autobias.Example(nil), task.Pos[8:]...), task.Neg...)
+	task.Pos = task.Pos[:8]
+	return task, heldOut
+}
+
+// randomBatch draws a mutation batch against the task's database:
+// inserts recombine constants already in the data (so they can actually
+// perturb ground BCs) plus a few with fresh constants, and deletes
+// remove existing tuples. Deterministic for a given seed.
+func randomBatch(t *testing.T, task autobias.Task, seed int64, inserts, deletes int) autobias.IngestBatch {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	var muts []autobias.IngestMutation
+	names := task.DB.Schema().Names()
+	for i := 0; i < inserts; i++ {
+		name := names[r.Intn(len(names))]
+		rel := task.DB.Relation(name)
+		snap := rel.Snapshot()
+		if len(snap) == 0 {
+			continue
+		}
+		tuple := make([]string, len(rel.Schema.Attributes))
+		for j := range tuple {
+			// Mostly existing values (drawn from random rows of the same
+			// column), sometimes a fresh constant the interner has never
+			// seen.
+			if r.Intn(5) == 0 {
+				tuple[j] = fmt.Sprintf("fresh_%d_%d", seed, i)
+			} else {
+				tuple[j] = snap[r.Intn(len(snap))][j]
+			}
+		}
+		muts = append(muts, autobias.IngestMutation{Op: autobias.IngestInsert, Relation: name, Tuple: tuple})
+	}
+	for i := 0; i < deletes; i++ {
+		name := names[r.Intn(len(names))]
+		rel := task.DB.Relation(name)
+		snap := rel.Snapshot()
+		if len(snap) == 0 {
+			continue
+		}
+		row := snap[r.Intn(len(snap))]
+		muts = append(muts, autobias.IngestMutation{Op: autobias.IngestDelete, Relation: name, Tuple: append([]string(nil), row...)})
+	}
+	if len(muts) == 0 {
+		t.Fatal("randomBatch produced no mutations")
+	}
+	return autobias.IngestBatch{Mutations: muts}
+}
+
+// duplicateBatch re-inserts existing rows. Duplicates change tuple
+// multiplicities (and therefore lookup frontiers) without adding
+// distinct values, so the refreshed bias is guaranteed stable and the
+// incremental-repair path — not the drift fallback — handles the batch.
+func duplicateBatch(t *testing.T, task autobias.Task, seed int64, n int) autobias.IngestBatch {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	names := task.DB.Schema().Names()
+	var muts []autobias.IngestMutation
+	for i := 0; i < n; i++ {
+		rel := task.DB.Relation(names[r.Intn(len(names))])
+		snap := rel.Snapshot()
+		if len(snap) == 0 {
+			continue
+		}
+		row := snap[r.Intn(len(snap))]
+		muts = append(muts, autobias.IngestMutation{Op: autobias.IngestInsert, Relation: rel.Schema.Name, Tuple: append([]string(nil), row...)})
+	}
+	if len(muts) == 0 {
+		t.Fatal("duplicateBatch produced no mutations")
+	}
+	return autobias.IngestBatch{Mutations: muts}
+}
+
+// verdicts scores the held-out examples through a result's own coverage
+// machinery.
+func verdicts(t *testing.T, res *autobias.Result, heldOut []autobias.Example) []bool {
+	t.Helper()
+	out := make([]bool, len(heldOut))
+	for i, e := range heldOut {
+		v, err := res.Covers(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// repairVsRelearn runs the full contract check for one (batch, workers)
+// configuration: learn → commit → repair, against a from-scratch
+// re-learn on the post-batch database. Returns the repair outcome and
+// the repaired theory for cross-leg comparison.
+func repairVsRelearn(t *testing.T, batchSeed int64, inserts, deletes, workers int) (*autobias.Repair, string) {
+	t.Helper()
+	ctx := context.Background()
+	task, heldOut := liveTask(t)
+	opts := autobias.Options{Method: autobias.MethodAutoBias, Seed: 1, Workers: workers, PureGroundBCs: true}
+
+	prev, err := autobias.LearnCtx(ctx, task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.Clauses == 0 {
+		t.Fatal("initial learn produced no clauses; the comparison is vacuous")
+	}
+
+	ing := autobias.NewIngestor(task.DB, nil)
+	commit, err := ing.Apply(ctx, randomBatch(t, task, batchSeed, inserts, deletes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commit.Version != 1 {
+		t.Fatalf("commit version = %d, want 1", commit.Version)
+	}
+
+	rep, err := autobias.RepairCtx(ctx, prev, task, commit, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relearn, err := autobias.LearnCtx(ctx, task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := rep.Result.Definition.String(), relearn.Definition.String(); got != want {
+		t.Errorf("workers=%d seed=%d: repaired theory diverges from re-learn:\n--- repair\n%s\n--- relearn\n%s",
+			workers, batchSeed, got, want)
+	}
+	gotV := verdicts(t, rep.Result, heldOut)
+	wantV := verdicts(t, relearn, heldOut)
+	for i := range gotV {
+		if gotV[i] != wantV[i] {
+			t.Errorf("workers=%d seed=%d: held-out verdict %d (%s): repair=%v relearn=%v",
+				workers, batchSeed, i, heldOut[i].String(), gotV[i], wantV[i])
+		}
+	}
+	return rep, rep.Result.Definition.String()
+}
+
+// TestRepairEquivalenceInserts pins the contract for insert batches at
+// workers 1/4/8; the repaired theories must also agree across worker
+// counts.
+func TestRepairEquivalenceInserts(t *testing.T) {
+	theories := map[int]string{}
+	for _, w := range []int{1, 4, 8} {
+		_, theory := repairVsRelearn(t, 42, 12, 0, w)
+		theories[w] = theory
+	}
+	if theories[4] != theories[1] || theories[8] != theories[1] {
+		t.Error("repaired theories diverge across worker counts")
+	}
+}
+
+// TestRepairEquivalenceDeletes pins the contract for delete batches.
+func TestRepairEquivalenceDeletes(t *testing.T) {
+	theories := map[int]string{}
+	for _, w := range []int{1, 4, 8} {
+		_, theory := repairVsRelearn(t, 43, 0, 10, w)
+		theories[w] = theory
+	}
+	if theories[4] != theories[1] || theories[8] != theories[1] {
+		t.Error("repaired theories diverge across worker counts")
+	}
+}
+
+// TestRepairEquivalenceMixedRandomized sweeps randomized mixed batches:
+// several seeds, inserts and deletes together, sequential engine.
+func TestRepairEquivalenceMixedRandomized(t *testing.T) {
+	for seed := int64(50); seed < 54; seed++ {
+		repairVsRelearn(t, seed, 8, 6, 1)
+	}
+}
+
+// TestRepairFreshConstantsFastPath pins the no-op fast path: a
+// net-zero batch (insert and delete of the same fresh-constant tuple)
+// leaves the bias untouched, its values never appear in any ground BC,
+// so nothing is dirty and repair returns the previous theory unchanged.
+func TestRepairFreshConstantsFastPath(t *testing.T) {
+	ctx := context.Background()
+	task, _ := liveTask(t)
+	opts := autobias.Options{Method: autobias.MethodAutoBias, Seed: 1, Workers: 1, PureGroundBCs: true}
+	prev, err := autobias.LearnCtx(ctx, task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := task.DB.Schema().Names()[0]
+	rel := task.DB.Relation(name)
+	tuple := make([]string, len(rel.Schema.Attributes))
+	for j := range tuple {
+		tuple[j] = fmt.Sprintf("never_seen_%d", j)
+	}
+	ing := autobias.NewIngestor(task.DB, nil)
+	commit, err := ing.Apply(ctx, autobias.IngestBatch{Mutations: []autobias.IngestMutation{
+		{Op: autobias.IngestInsert, Relation: name, Tuple: tuple},
+		{Op: autobias.IngestDelete, Relation: name, Tuple: append([]string(nil), tuple...)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commit.Version != 1 || commit.Inserted != 1 || commit.Deleted != 1 {
+		t.Fatalf("unexpected commit %+v", commit)
+	}
+	rep, err := autobias.RepairCtx(ctx, prev, task, commit, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BiasDrift || rep.FullRelearn {
+		t.Fatalf("net-zero batch must not drift the bias: %+v", rep)
+	}
+	if !rep.Unchanged || rep.DirtyExamples != 0 {
+		t.Fatalf("expected unchanged fast path, got %+v", rep)
+	}
+	if rep.Result.Definition.String() != prev.Definition.String() {
+		t.Fatal("fast path returned a different theory")
+	}
+}
+
+// TestRepairShardedTransport runs the repair leg over a live shard
+// fleet started on the post-batch database: the repaired theory must
+// match the single-process repair (and therefore the re-learn
+// reference) bit for bit.
+func TestRepairShardedTransport(t *testing.T) {
+	ctx := context.Background()
+	base := autobias.Options{Method: autobias.MethodAutoBias, Seed: 1, Workers: 2, PureGroundBCs: true}
+
+	// Single-process reference: learn, commit, repair.
+	task, heldOut := liveTask(t)
+	prev, err := autobias.LearnCtx(ctx, task, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := duplicateBatch(t, task, 77, 12)
+	ing := autobias.NewIngestor(task.DB, nil)
+	commit, err := ing.Apply(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRep, err := autobias.RepairCtx(ctx, prev, task, commit, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refRep.FullRelearn {
+		t.Fatal("duplicate-row batch must take the repair path, not the full-relearn fallback")
+	}
+
+	// Sharded leg: identical problem, fleet workers built over the
+	// post-batch database.
+	task2, _ := liveTask(t)
+	prev2, err := autobias.LearnCtx(ctx, task2, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing2 := autobias.NewIngestor(task2.DB, nil)
+	commit2, err := ing2.Apply(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := testkit.StartShardFleet(task2, base, [][]string{{"i0"}, {"i1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	shardOpts := base
+	shardOpts.Shard = &autobias.ShardOptions{Workers: fleet.URLs}
+	shardRep, err := autobias.RepairCtx(ctx, prev2, task2, commit2, shardOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := shardRep.Result.Definition.String(), refRep.Result.Definition.String(); got != want {
+		t.Errorf("sharded repair diverges from single-process repair:\n--- sharded\n%s\n--- reference\n%s", got, want)
+	}
+	gotV := verdicts(t, shardRep.Result, heldOut)
+	wantV := verdicts(t, refRep.Result, heldOut)
+	for i := range gotV {
+		if gotV[i] != wantV[i] {
+			t.Errorf("held-out verdict %d: sharded=%v reference=%v", i, gotV[i], wantV[i])
+		}
+	}
+}
+
+// TestRepairCrashMidRepairResumes is the chaos leg: a fault injected at
+// the per-clause repair site kills the first repair attempt; the retry
+// (same previous result, same commit) must stitch to the re-learn
+// reference exactly. The previous result's coverage state is read-only
+// during repair, so a crashed attempt leaves nothing to clean up.
+func TestRepairCrashMidRepairResumes(t *testing.T) {
+	ctx := context.Background()
+	task, _ := liveTask(t)
+	opts := autobias.Options{Method: autobias.MethodAutoBias, Seed: 1, Workers: 1, PureGroundBCs: true}
+	prev, err := autobias.LearnCtx(ctx, task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing := autobias.NewIngestor(task.DB, nil)
+	// Seed 94 is pinned: its duplicate batch dirties examples without
+	// drifting the bias, so the per-clause repair loop (and its
+	// faultpoint) is reached.
+	commit, err := ing.Apply(ctx, duplicateBatch(t, task, 94, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	site := "ingest.repair:" + prev.Definition.Clauses[0].Key()
+	faultpoint.Enable(site, faultpoint.Fault{Err: errors.New("injected repair crash")})
+	_, err = autobias.RepairCtx(ctx, prev, task, commit, opts)
+	faultpoint.Reset()
+	if err == nil {
+		t.Fatal("injected fault at the per-clause repair site did not fire")
+	}
+
+	rep, err := autobias.RepairCtx(ctx, prev, task, commit, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relearn, err := autobias.LearnCtx(ctx, task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep.Result.Definition.String(), relearn.Definition.String(); got != want {
+		t.Errorf("post-crash repair diverges from re-learn:\n--- repair\n%s\n--- relearn\n%s", got, want)
+	}
+}
+
+// TestRepairCrashMidCommit proves commit atomicity end to end: a fault
+// at ingest.commit leaves the database, its version, and a subsequent
+// repair exactly as if the batch had never been submitted.
+func TestRepairCrashMidCommit(t *testing.T) {
+	ctx := context.Background()
+	task, _ := liveTask(t)
+	opts := autobias.Options{Method: autobias.MethodAutoBias, Seed: 1, Workers: 1, PureGroundBCs: true}
+	prev, err := autobias.LearnCtx(ctx, task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := task.DB.IndexDigest()
+	ing := autobias.NewIngestor(task.DB, nil)
+	batch := randomBatch(t, task, 93, 6, 3)
+
+	faultpoint.Enable("ingest.commit", faultpoint.Fault{Err: errors.New("injected commit crash")})
+	if _, err := ing.Apply(ctx, batch); err == nil {
+		t.Fatal("faulted commit reported success")
+	}
+	faultpoint.Reset()
+	if task.DB.Version() != 0 || task.DB.IndexDigest() != digest {
+		t.Fatal("faulted commit mutated the database")
+	}
+
+	// The retry applies cleanly and repair proceeds against it.
+	commit, err := ing.Apply(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := autobias.RepairCtx(ctx, prev, task, commit, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relearn, err := autobias.LearnCtx(ctx, task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result.Definition.String() != relearn.Definition.String() {
+		t.Error("repair after commit retry diverges from re-learn")
+	}
+}

@@ -9,15 +9,31 @@
 // indexes are built lazily on first use behind a reader/writer lock
 // (double-checked), so parallel coverage workers and concurrent
 // cross-validation folds can read the same relations without a
-// happens-before handoff. Mutation (Insert, AddRelation) is still not
-// synchronized with readers and must happen-before them; loading and
-// learning remain distinct phases, as in the paper's workflow.
+// happens-before handoff.
+//
+// Mutation is synchronized with readers through the same lock: every
+// accessor captures a consistent (tuples, index) view under the read
+// lock, Insert maintains already-built indexes incrementally under the
+// write lock (appends are position-stable, so the maintained index is
+// byte-identical to a cold rebuild), and deletes copy-on-write the
+// tuple slice and invalidate the affected indexes for lazy rebuild —
+// a reader that captured the previous view keeps a consistent snapshot.
+// The explicit Invalidate/Rebuild entry points expose the same
+// machinery to callers that mutate Tuples directly (the load-phase
+// idiom some transforms use). Direct iteration of the exported Tuples
+// field remains safe only when no concurrent mutation is possible;
+// live-mutation deployments (internal/ingest) must go through the
+// accessors or Snapshot.
 package db
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // Tuple is one row; values are untyped strings, matching the paper's
@@ -124,46 +140,177 @@ type Relation struct {
 }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.Tuples) }
+func (r *Relation) Len() int {
+	r.mu.RLock()
+	n := len(r.Tuples)
+	r.mu.RUnlock()
+	return n
+}
 
-// Insert appends a tuple, validating arity. Inserting invalidates any
-// previously built index. Insert is a mutation: it must not run
-// concurrently with readers (see the package comment).
+// Snapshot returns the current tuple slice under the read lock. The
+// returned slice is a consistent point-in-time view: mutations either
+// replace the slice (deletes) or append past its length (inserts), so
+// iterating it concurrently with mutation is safe.
+func (r *Relation) Snapshot() []Tuple {
+	r.mu.RLock()
+	ts := r.Tuples
+	r.mu.RUnlock()
+	return ts
+}
+
+// Insert appends a tuple, validating arity. Already-built indexes and
+// statistics are maintained incrementally — an append is
+// position-stable, so the maintained postings lists and max-frequency
+// values are byte-identical to a cold rebuild. Safe to run concurrently
+// with readers: they hold consistent snapshots taken under the lock.
 func (r *Relation) Insert(t Tuple) error {
 	if len(t) != r.Schema.Arity() {
 		return fmt.Errorf("db: %s: tuple arity %d, want %d", r.Schema.Name, len(t), r.Schema.Arity())
 	}
-	r.Tuples = append(r.Tuples, t)
 	r.mu.Lock()
-	r.indexes = nil
-	r.maxFreq = nil
+	r.insertLocked(t)
 	r.mu.Unlock()
 	return nil
 }
 
-// buildIndex returns the hash index and maximum value frequency for
-// attribute i, materializing them on first use. Safe for concurrent
-// callers: the fast path takes only a read lock, and construction is
-// serialized behind the write lock with a re-check, so two readers never
-// build the same index twice. The returned map is immutable until the
-// next Insert.
-func (r *Relation) buildIndex(i int) (map[string][]int, int) {
-	r.mu.RLock()
-	if r.indexes != nil && r.indexes[i] != nil {
-		idx, max := r.indexes[i], r.maxFreq[i]
-		r.mu.RUnlock()
-		return idx, max
+// insertLocked appends t and incrementally maintains whatever indexes
+// are already built. Caller holds mu.
+func (r *Relation) insertLocked(t Tuple) {
+	pos := len(r.Tuples)
+	r.Tuples = append(r.Tuples, t)
+	if r.indexes == nil {
+		return
 	}
-	r.mu.RUnlock()
+	for i := range r.indexes {
+		idx := r.indexes[i]
+		if idx == nil {
+			continue
+		}
+		ps := append(idx[t[i]], pos)
+		idx[t[i]] = ps
+		if len(ps) > r.maxFreq[i] {
+			r.maxFreq[i] = len(ps)
+		}
+	}
+}
 
+// InsertBatch appends tuples under one lock acquisition, validating
+// every arity first so the batch applies completely or not at all.
+func (r *Relation) InsertBatch(ts []Tuple) error {
+	for _, t := range ts {
+		if len(t) != r.Schema.Arity() {
+			return fmt.Errorf("db: %s: tuple arity %d, want %d", r.Schema.Name, len(t), r.Schema.Arity())
+		}
+	}
+	r.mu.Lock()
+	for _, t := range ts {
+		r.insertLocked(t)
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// tupleKey flattens a tuple into a map key ('\x00' cannot appear in CSV
+// values, so the join is unambiguous).
+func tupleKey(t Tuple) string {
+	n := 0
+	for _, v := range t {
+		n += len(v) + 1
+	}
+	b := make([]byte, 0, n)
+	for _, v := range t {
+		b = append(b, v...)
+		b = append(b, 0)
+	}
+	return string(b)
+}
+
+// Delete removes the first occurrence of t and reports whether one was
+// found. See DeleteBatch for the concurrency and index semantics.
+func (r *Relation) Delete(t Tuple) bool {
+	return r.DeleteBatch([]Tuple{t}) == 1
+}
+
+// DeleteBatch removes one occurrence per given tuple (bag semantics: a
+// tuple listed twice removes two occurrences) and returns how many were
+// removed. The surviving tuples are copied into a fresh slice — readers
+// holding the previous Snapshot keep a consistent view — and the
+// positional indexes are invalidated for lazy rebuild, since deletion
+// shifts positions.
+func (r *Relation) DeleteBatch(ts []Tuple) int {
+	if len(ts) == 0 {
+		return 0
+	}
+	want := make(map[string]int, len(ts))
+	for _, t := range ts {
+		if len(t) == r.Schema.Arity() {
+			want[tupleKey(t)]++
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	removed := 0
+	kept := make([]Tuple, 0, len(r.Tuples))
+	for _, t := range r.Tuples {
+		if k := tupleKey(t); want[k] > 0 {
+			want[k]--
+			removed++
+			continue
+		}
+		kept = append(kept, t)
+	}
+	if removed == 0 {
+		return 0
+	}
+	r.Tuples = kept
+	r.indexes = nil
+	r.maxFreq = nil
+	return removed
+}
+
+// Count returns how many occurrences of t the relation holds (the bag
+// multiplicity), via the first attribute's index.
+func (r *Relation) Count(t Tuple) int {
+	if len(t) != r.Schema.Arity() || len(t) == 0 {
+		return 0
+	}
+	n := 0
+	for _, cand := range r.Lookup(0, t[0]) {
+		if cand.Equal(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Invalidate drops every built index and statistic so the next reader
+// rebuilds them lazily from the current tuples. It is the explicit
+// entry point for callers that mutate Tuples directly (transforms,
+// loaders); the batch mutation paths call it implicitly when needed.
+func (r *Relation) Invalidate() {
+	r.mu.Lock()
+	r.indexes = nil
+	r.maxFreq = nil
+	r.mu.Unlock()
+}
+
+// Rebuild is Invalidate followed by an eager rebuild of every index —
+// the explicit counterpart of the lazy path, for callers that want the
+// rebuild cost paid at a known point instead of on first read.
+func (r *Relation) Rebuild() {
+	r.Invalidate()
+	r.BuildIndexes()
+}
+
+// buildIndexLocked materializes the index of attribute i from the
+// current tuples. Caller holds mu.
+func (r *Relation) buildIndexLocked(i int) {
 	if r.indexes == nil {
 		r.indexes = make([]map[string][]int, r.Schema.Arity())
 		r.maxFreq = make([]int, r.Schema.Arity())
 	}
 	if r.indexes[i] != nil {
-		return r.indexes[i], r.maxFreq[i]
+		return
 	}
 	idx := make(map[string][]int)
 	for pos, t := range r.Tuples {
@@ -177,27 +324,49 @@ func (r *Relation) buildIndex(i int) (map[string][]int, int) {
 	}
 	r.indexes[i] = idx
 	r.maxFreq[i] = max
-	return idx, max
+}
+
+// view returns, under one lock acquisition, the current tuple slice
+// together with the index and max frequency of attribute i, building
+// the index first if needed (double-checked: the fast path takes only
+// the read lock). The pair is consistent — the postings positions are
+// valid for exactly the returned slice — which is what keeps readers
+// correct during concurrent mutation.
+func (r *Relation) view(i int) ([]Tuple, map[string][]int, int) {
+	r.mu.RLock()
+	if r.indexes != nil && r.indexes[i] != nil {
+		ts, idx, max := r.Tuples, r.indexes[i], r.maxFreq[i]
+		r.mu.RUnlock()
+		return ts, idx, max
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buildIndexLocked(i)
+	return r.Tuples, r.indexes[i], r.maxFreq[i]
 }
 
 // BuildIndexes eagerly builds every attribute index. Call once after
-// loading so later concurrent readers never race on lazy construction.
+// loading so later concurrent readers never pay lazy construction.
 func (r *Relation) BuildIndexes() {
+	r.mu.Lock()
 	for i := 0; i < r.Schema.Arity(); i++ {
-		r.buildIndex(i)
+		r.buildIndexLocked(i)
 	}
+	r.mu.Unlock()
 }
 
 // Lookup returns the tuples whose attribute attr equals value.
 func (r *Relation) Lookup(attr int, value string) []Tuple {
-	idx, _ := r.buildIndex(attr)
+	ts, idx, _ := r.view(attr)
 	positions := idx[value]
 	if len(positions) == 0 {
 		return nil
 	}
 	out := make([]Tuple, len(positions))
 	for i, p := range positions {
-		out[i] = r.Tuples[p]
+		out[i] = ts[p]
 	}
 	return out
 }
@@ -205,27 +374,27 @@ func (r *Relation) Lookup(attr int, value string) []Tuple {
 // Frequency returns m_{R.attr}(value): how many tuples hold value in
 // attribute attr.
 func (r *Relation) Frequency(attr int, value string) int {
-	idx, _ := r.buildIndex(attr)
+	_, idx, _ := r.view(attr)
 	return len(idx[value])
 }
 
 // MaxFrequency returns M_{R.attr}: the maximum frequency of any value in
 // attribute attr (0 for an empty relation).
 func (r *Relation) MaxFrequency(attr int) int {
-	_, max := r.buildIndex(attr)
+	_, _, max := r.view(attr)
 	return max
 }
 
 // DistinctCount returns the number of distinct values in attribute attr.
 func (r *Relation) DistinctCount(attr int) int {
-	idx, _ := r.buildIndex(attr)
+	_, idx, _ := r.view(attr)
 	return len(idx)
 }
 
 // DistinctValues returns the distinct values of attribute attr in sorted
 // order (sorted for determinism).
 func (r *Relation) DistinctValues(attr int) []string {
-	idx, _ := r.buildIndex(attr)
+	_, idx, _ := r.view(attr)
 	out := make([]string, 0, len(idx))
 	for v := range idx {
 		out = append(out, v)
@@ -236,7 +405,7 @@ func (r *Relation) DistinctValues(attr int) []string {
 
 // Contains reports whether value appears in attribute attr.
 func (r *Relation) Contains(attr int, value string) bool {
-	idx, _ := r.buildIndex(attr)
+	_, idx, _ := r.view(attr)
 	return len(idx[value]) > 0
 }
 
@@ -244,7 +413,7 @@ func (r *Relation) Contains(attr int, value string) bool {
 // takes a value in the given set. This is the selection primitive used by
 // bottom-clause construction (paper Algorithm 2, line 7).
 func (r *Relation) SelectIn(attr int, values map[string]bool) []Tuple {
-	idx, _ := r.buildIndex(attr)
+	ts, idx, _ := r.view(attr)
 	var out []Tuple
 	// Iterate the smaller side for efficiency on large relations.
 	if len(values) <= len(idx) {
@@ -255,17 +424,46 @@ func (r *Relation) SelectIn(attr int, values map[string]bool) []Tuple {
 		sort.Strings(keys) // deterministic output order
 		for _, v := range keys {
 			for _, p := range idx[v] {
-				out = append(out, r.Tuples[p])
+				out = append(out, ts[p])
 			}
 		}
 		return out
 	}
-	for _, t := range r.Tuples {
+	for _, t := range ts {
 		if values[t[attr]] {
 			out = append(out, t)
 		}
 	}
 	return out
+}
+
+// IndexDigest hashes the relation's complete index and statistics state
+// — every attribute's postings lists (values in sorted order, positions
+// in postings order) plus its max frequency — building missing indexes
+// first. Two relations whose streamed-mutation and cold-load index
+// states are byte-identical produce the same digest; the stress suite
+// pins that equivalence.
+func (r *Relation) IndexDigest() string {
+	h := sha256.New()
+	for i := 0; i < r.Schema.Arity(); i++ {
+		_, idx, max := r.view(i)
+		vals := make([]string, 0, len(idx))
+		for v := range idx {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		fmt.Fprintf(h, "attr %d max %d\n", i, max)
+		for _, v := range vals {
+			h.Write([]byte(v))
+			h.Write([]byte{0})
+			for _, p := range idx[v] {
+				h.Write([]byte(strconv.Itoa(p)))
+				h.Write([]byte{1})
+			}
+			h.Write([]byte{'\n'})
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // SemiJoinValues computes the right semi-join primitive used in §4.2:
@@ -280,6 +478,13 @@ func (r *Relation) SemiJoinValues(attr int, leftValues map[string]bool) []Tuple 
 type Database struct {
 	schema    *Schema
 	relations map[string]*Relation
+
+	// version is the database's monotonically increasing data version:
+	// 0 for the loaded snapshot, advanced once per committed mutation
+	// batch (internal/ingest). Every downstream consumer — repair,
+	// model artifacts, the shard dictionary protocol — names the
+	// snapshot it computed against by this number.
+	version atomic.Uint64
 }
 
 // New creates a database with empty instances for every relation in the
@@ -328,6 +533,33 @@ func (d *Database) BuildIndexes() {
 	for _, name := range d.schema.Names() {
 		d.relations[name].BuildIndexes()
 	}
+}
+
+// InvalidateAll drops every relation's built indexes and statistics for
+// lazy rebuild — the database-wide explicit invalidation entry point.
+func (d *Database) InvalidateAll() {
+	for _, name := range d.schema.Names() {
+		d.relations[name].Invalidate()
+	}
+}
+
+// Version returns the database's current data version (0 = the loaded
+// snapshot, before any committed mutation batch).
+func (d *Database) Version() uint64 { return d.version.Load() }
+
+// AdvanceVersion atomically increments the data version and returns the
+// new value. Called once per committed mutation batch by the ingestion
+// layer; the returned number names the post-batch snapshot.
+func (d *Database) AdvanceVersion() uint64 { return d.version.Add(1) }
+
+// IndexDigest hashes every relation's index and statistics state in
+// schema order; see Relation.IndexDigest.
+func (d *Database) IndexDigest() string {
+	h := sha256.New()
+	for _, name := range d.schema.Names() {
+		fmt.Fprintf(h, "rel %s %s\n", name, d.relations[name].IndexDigest())
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Extend returns a new database view that shares every relation instance

@@ -1,0 +1,244 @@
+// Package ingest is the live-data mutation subsystem (DESIGN.md §16): it
+// accepts batched and streamed tuple inserts/deletes against an
+// internal/db database, applies each batch atomically under the
+// database's RWMutex discipline (per-attribute indexes and
+// distinct-value statistics are maintained incrementally or invalidated
+// for lazy rebuild), and assigns every committed batch a monotonically
+// increasing data version so downstream consumers — the incremental
+// theory repairer, model artifacts, shard worker dictionaries — can name
+// the snapshot they computed against.
+//
+// Commit semantics are all-or-nothing: a batch is validated in full
+// (schema membership, arity, delete existence under bag semantics)
+// before any tuple is touched, so a rejected batch leaves the database
+// and its version unchanged. One batch commits at a time; the commit
+// returns the distinct constant values the batch touched, which is
+// exactly the input the repairer's invalidation probe needs.
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/db"
+	"repro/internal/faultpoint"
+	"repro/internal/metrics"
+)
+
+// Op is a mutation verb.
+type Op string
+
+// The two mutation verbs. Deletes follow bag semantics: one delete
+// removes one occurrence of the tuple.
+const (
+	OpInsert Op = "insert"
+	OpDelete Op = "delete"
+)
+
+// Mutation is one tuple-level change.
+type Mutation struct {
+	Op       Op       `json:"op"`
+	Relation string   `json:"relation"`
+	Tuple    []string `json:"tuple"`
+}
+
+// Batch is an ordered set of mutations committed atomically under one
+// data version.
+type Batch struct {
+	Mutations []Mutation `json:"mutations"`
+}
+
+// Commit describes one applied batch: the data version it created and
+// the change summary the theory repairer consumes.
+type Commit struct {
+	// Version is the database's data version after the batch.
+	Version uint64 `json:"version"`
+	// Inserted and Deleted count tuples actually applied (an over-delete
+	// is rejected at validation, so Deleted always equals the batch's
+	// delete count).
+	Inserted int `json:"inserted"`
+	Deleted  int `json:"deleted"`
+	// Touched names the relations the batch mutated.
+	Touched map[string]bool `json:"-"`
+	// Relations is Touched in sorted order, for wire responses.
+	Relations []string `json:"relations"`
+	// Values lists the distinct constant values appearing in mutated
+	// tuples, sorted — the invalidation probe input for incremental
+	// repair (learn.CoverageEngine.AffectedExamples).
+	Values []string `json:"-"`
+}
+
+// Ingestor applies mutation batches to a database. Safe for concurrent
+// use: commits serialize on an internal mutex, so version assignment is
+// atomic with respect to the data it names; readers proceed under the
+// database's own snapshot discipline throughout.
+type Ingestor struct {
+	d  *db.Database
+	mu sync.Mutex
+	mc *metrics.Collector
+}
+
+// New returns an ingestor over d. mc may be nil (metrics disabled).
+func New(d *db.Database, mc *metrics.Collector) *Ingestor {
+	return &Ingestor{d: d, mc: mc}
+}
+
+// DB returns the ingestor's database.
+func (ing *Ingestor) DB() *db.Database { return ing.d }
+
+// Version returns the current data version.
+func (ing *Ingestor) Version() uint64 { return ing.d.Version() }
+
+// Apply validates and commits one batch. On success the batch's data
+// version and change summary are returned; on any validation error the
+// database is untouched and the version unchanged. The faultpoint site
+// "ingest.commit" sits between validation and mutation, so an injected
+// crash models a process dying before the batch lands — the commit
+// either happens in full or not at all.
+func (ing *Ingestor) Apply(ctx context.Context, b Batch) (Commit, error) {
+	if len(b.Mutations) == 0 {
+		return Commit{}, fmt.Errorf("ingest: empty batch")
+	}
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return Commit{}, err
+	}
+
+	// Validate everything before touching anything. Deletes are checked
+	// under bag semantics against the pre-batch multiplicity plus
+	// same-batch inserts of the same tuple (inserts apply first).
+	inserts := make(map[string][]db.Tuple)
+	deletes := make(map[string][]db.Tuple)
+	type pending struct{ ins, del int }
+	counts := make(map[string]map[string]*pending)
+	values := make(map[string]bool)
+	for i, m := range b.Mutations {
+		rel := ing.d.Relation(m.Relation)
+		if rel == nil {
+			return Commit{}, fmt.Errorf("ingest: mutation %d: unknown relation %q", i, m.Relation)
+		}
+		if len(m.Tuple) != len(rel.Schema.Attributes) {
+			return Commit{}, fmt.Errorf("ingest: mutation %d: relation %q expects arity %d, got %d",
+				i, m.Relation, len(rel.Schema.Attributes), len(m.Tuple))
+		}
+		t := db.Tuple(m.Tuple)
+		key := tupleKey(t)
+		byKey := counts[m.Relation]
+		if byKey == nil {
+			byKey = make(map[string]*pending)
+			counts[m.Relation] = byKey
+		}
+		p := byKey[key]
+		if p == nil {
+			p = &pending{}
+			byKey[key] = p
+		}
+		switch m.Op {
+		case OpInsert:
+			p.ins++
+			inserts[m.Relation] = append(inserts[m.Relation], t)
+		case OpDelete:
+			p.del++
+			if have := rel.Count(t) + p.ins; p.del > have {
+				return Commit{}, fmt.Errorf("ingest: mutation %d: delete of %q%v exceeds multiplicity %d",
+					i, m.Relation, []string(t), have)
+			}
+			deletes[m.Relation] = append(deletes[m.Relation], t)
+		default:
+			return Commit{}, fmt.Errorf("ingest: mutation %d: unknown op %q", i, m.Op)
+		}
+		for _, v := range t {
+			values[v] = true
+		}
+	}
+
+	if err := faultpoint.Inject(ctx, "ingest.commit"); err != nil {
+		return Commit{}, err
+	}
+
+	c := Commit{Touched: make(map[string]bool)}
+	for name, ts := range inserts {
+		if err := ing.d.Relation(name).InsertBatch(ts); err != nil {
+			// Unreachable after validation; surface rather than hide.
+			return Commit{}, fmt.Errorf("ingest: commit: %w", err)
+		}
+		c.Inserted += len(ts)
+		c.Touched[name] = true
+	}
+	for name, ts := range deletes {
+		c.Deleted += ing.d.Relation(name).DeleteBatch(ts)
+		c.Touched[name] = true
+	}
+	c.Version = ing.d.AdvanceVersion()
+	for name := range c.Touched {
+		c.Relations = append(c.Relations, name)
+	}
+	sort.Strings(c.Relations)
+	for v := range values {
+		c.Values = append(c.Values, v)
+	}
+	sort.Strings(c.Values)
+
+	ing.mc.Inc(metrics.IngestBatches)
+	ing.mc.Add(metrics.IngestTuplesApplied, int64(c.Inserted+c.Deleted))
+	return c, nil
+}
+
+// tupleKey mirrors internal/db's multiset key: values joined by NUL,
+// which cannot appear in CSV-loaded values.
+func tupleKey(t db.Tuple) string {
+	k := ""
+	for i, v := range t {
+		if i > 0 {
+			k += "\x00"
+		}
+		k += v
+	}
+	return k
+}
+
+// Stream accumulates mutations and commits them in bounded batches —
+// the library form of the HTTP streaming endpoint. Not safe for
+// concurrent use; each stream belongs to one producer.
+type Stream struct {
+	ing   *Ingestor
+	limit int
+	buf   []Mutation
+	// Commits records every batch committed through the stream.
+	Commits []Commit
+}
+
+// NewStream returns a stream over ing committing every limit mutations;
+// limit <= 0 selects 512.
+func (ing *Ingestor) NewStream(limit int) *Stream {
+	if limit <= 0 {
+		limit = 512
+	}
+	return &Stream{ing: ing, limit: limit}
+}
+
+// Add buffers one mutation, committing a batch when the buffer fills.
+func (s *Stream) Add(ctx context.Context, m Mutation) error {
+	s.buf = append(s.buf, m)
+	if len(s.buf) >= s.limit {
+		return s.Flush(ctx)
+	}
+	return nil
+}
+
+// Flush commits any buffered mutations as one batch.
+func (s *Stream) Flush(ctx context.Context) error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	c, err := s.ing.Apply(ctx, Batch{Mutations: s.buf})
+	if err != nil {
+		return err
+	}
+	s.buf = s.buf[:0]
+	s.Commits = append(s.Commits, c)
+	return nil
+}

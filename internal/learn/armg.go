@@ -56,6 +56,47 @@ func ARMGCtx(ctx context.Context, c *logic.Clause, ground *logic.Clause, opts su
 	return out
 }
 
+// GeneralizeCtx applies the armg operator to c against e's ground bottom
+// clause through the engine's memo. The outcome is a pure function of
+// (clause, example ground BC, subsumption options): within a run the
+// ground BC is fixed per example (cached on first build), so the memo
+// key is (rendered clause, example key). Beam clauses recur across
+// rounds — the same (clause, example) pair is re-generalized whenever a
+// clause survives a round and the example is re-sampled — and each
+// application pays a per-literal subsumption pass, so the memo removes a
+// large share of learning cost without touching the decision sequence:
+// a hit returns exactly the clause a fresh pass would rebuild, and the
+// operator consumes no RNG. In pure-provenance mode the memo also
+// carries across runs (CarriedState), which is what lets incremental
+// repair skip the generalization work of unperturbed examples; keying
+// by the rendered form (name-sensitive) rather than the canonical key
+// is what keeps that carry exact — a perturbed seed's bottom clause
+// renumbers variables, and its generalization chain must rebuild with
+// the new names instead of replaying a renamed twin's memo entry. A
+// cancelled pass is truncated (remaining subsumption tests report
+// non-coverage), so it is returned as a ctx error and never memoized.
+func (ce *CoverageEngine) GeneralizeCtx(ctx context.Context, c *logic.Clause, e Example) (*logic.Clause, error) {
+	key := ce.clauseString(c) + "\x00" + e.String()
+	ce.mu.RLock()
+	cand, ok := ce.armg[key]
+	ce.mu.RUnlock()
+	if ok {
+		return cand, nil
+	}
+	g, err := ce.GroundBCCtx(ctx, e)
+	if err != nil {
+		return nil, err
+	}
+	cand = ARMGCtx(ctx, c, g, ce.subOpts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ce.mu.Lock()
+	ce.armg[key] = cand
+	ce.mu.Unlock()
+	return cand, nil
+}
+
 // firstBlocking returns the least index i such that the prefix
 // (head ← body[0..i]) does not cover the ground clause; it assumes the
 // full body does not cover. Prefix coverage is monotone non-increasing,

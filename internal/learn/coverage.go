@@ -105,6 +105,35 @@ type CoverageEngine struct {
 	// PinCached is called; guarded by mu.
 	pinned map[string]bool
 
+	// carried is the incremental-repair verdict store: verdicts from a
+	// previous run keyed by (clause canonical key, example key),
+	// installed by AdoptCarried before the engine runs and read-only
+	// afterwards (no lock needed on reads). covers consults it on a
+	// pointer-memo miss: a hit replays the previous run's verdict
+	// without fetching the ground BC or running subsumption — the cost
+	// incremental repair saves. ckeys memoizes clause canonical keys by
+	// pointer (guarded by mu) so Key() is computed once per clause.
+	carried map[string]map[string]bool
+	ckeys   map[*logic.Clause]string
+	// armg memoizes ARMG generalization outcomes by (rendered clause,
+	// example key) — the operator is a pure function of the clause, the
+	// example's ground BC, and the subsumption options, and its direct
+	// subsumption tests are a large share of learning cost. The memo
+	// serves repeat applications within a run (beam clauses recur across
+	// rounds) and is carried across runs by incremental repair in pure
+	// mode. The key is the clause's rendered form, NOT its canonical
+	// key: the armg result reuses the input clause's variable names, so
+	// a canonical-key hit on a renamed-but-equal clause would resurrect
+	// another clause's variable naming and break the repair replay's
+	// bit-identical-theory contract. cstrs memoizes rendered forms by
+	// pointer. Guarded by mu. A nil value records "no generalization".
+	armg  map[string]*logic.Clause
+	cstrs map[*logic.Clause]string
+	// carriedHits counts carried-verdict replays; a deterministic
+	// function of (carried store, tested pairs), identical at every
+	// worker count.
+	carriedHits atomic.Int64
+
 	// tests counts subsumption checks, for instrumentation.
 	tests atomic.Int64
 
@@ -147,6 +176,8 @@ func NewCoverage(builder *bottom.Builder, subOpts subsume.Options) *CoverageEngi
 		cache:   make(map[string]*GroundEntry),
 		results: make(map[*logic.Clause]map[string]bool),
 		seeds:   make(map[string]int64),
+		armg:    make(map[string]*logic.Clause),
+		cstrs:   make(map[*logic.Clause]string),
 	}
 }
 
@@ -545,6 +576,10 @@ func (ce *CoverageEngine) covers(ctx context.Context, c *logic.Clause, e Example
 	ce.mu.RUnlock()
 	if ok {
 		ce.mc.Inc(metrics.CoverageMemoHits)
+		return v, nil
+	}
+	if v, ok := ce.carriedVerdict(c, key); ok {
+		ce.memoize(c, key, v)
 		return v, nil
 	}
 	if err := ctx.Err(); err != nil {

@@ -387,11 +387,10 @@ func (l *Learner) learnClause(ctx context.Context, seed Example, pos, neg []Exam
 					stats.TimedOut = true
 					break
 				}
-				g, err := l.cover.GroundBCCtx(ctx, e)
+				cand, err := l.cover.GeneralizeCtx(ctx, b.clause, e)
 				if err != nil {
 					return nil, err
 				}
-				cand := ARMGCtx(ctx, b.clause, g, l.opts.Subsume)
 				if cand == nil || len(cand.Body) == 0 {
 					continue
 				}

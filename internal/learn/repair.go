@@ -1,0 +1,289 @@
+package learn
+
+import (
+	"context"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Incremental theory repair (DESIGN.md §16) re-runs the learner on the
+// post-batch database while replaying every coverage verdict that a data
+// batch provably could not have changed. The learner's decisions are a
+// pure function of its coverage verdicts (given fixed options and seed),
+// so replaying all unchanged verdicts forces the re-run down exactly the
+// path a cold re-learn would take — bit-identical theories by
+// construction — while skipping the ground-BC construction and
+// subsumption work that dominates learning cost.
+//
+// The carried state crosses engines as three pieces: the intern table
+// (symbol ids never affect verdicts, but carried compiled grounds are
+// expressed in the old table's ids, so the new engine adopts it), the
+// ground-entry cache for clean examples, and a string-keyed verdict
+// store (clause canonical key → example key → verdict) consulted by
+// covers on a pointer-memo miss. Dirty examples — those whose ground BC
+// could differ on the new database — are dropped from both before the
+// replay, so their verdicts are recomputed from scratch.
+
+// CarriedState is the portable coverage state extracted from a previous
+// run's engine, to be adopted by a fresh engine over the post-batch
+// database. It is only valid for a repair run with identical learning
+// options and seed: the verdict store keys clauses by canonical form,
+// and a changed configuration would pair old verdicts with clauses that
+// mean something different.
+type CarriedState struct {
+	// Interner is the previous engine's intern table. Carried compiled
+	// grounds hold ids from this table, so the adopting engine must use
+	// it (ids never affect verdicts — see internal/model).
+	Interner *logic.Interner
+	// Entries maps example key → cached ground entry (BC + compiled
+	// index). Only pure-mode entries are carried: they are pure
+	// functions of (configuration, example) and remain valid for every
+	// example the batch did not touch.
+	Entries map[string]*GroundEntry
+	// Verdicts maps clause canonical key → example key → coverage
+	// verdict from the previous run.
+	Verdicts map[string]map[string]bool
+	// ARMG maps (rendered clause + NUL + example key) → the previous
+	// run's memoized armg generalization for the pair (nil = "no
+	// generalization"). Like a verdict, an armg outcome is a pure
+	// function of the clause and the example's ground BC, so it stays
+	// valid for every example the batch did not perturb. The key is the
+	// name-sensitive rendered form, so a perturbed seed's renamed
+	// generalization chain misses and rebuilds instead of replaying
+	// stale variable names.
+	ARMG map[string]*logic.Clause
+}
+
+// ExtractCarried snapshots the engine's coverage state for a repair run.
+// The returned maps are fresh copies; mutating them (DropExamples) does
+// not disturb the source engine, which may still be serving.
+func (ce *CoverageEngine) ExtractCarried() *CarriedState {
+	cs := &CarriedState{
+		Interner: ce.in,
+		Entries:  make(map[string]*GroundEntry),
+		Verdicts: make(map[string]map[string]bool),
+		ARMG:     make(map[string]*logic.Clause),
+	}
+	ce.mu.RLock()
+	defer ce.mu.RUnlock()
+	for k, ent := range ce.cache {
+		cs.Entries[k] = ent
+	}
+	for k, cand := range ce.armg {
+		cs.ARMG[k] = cand
+	}
+	for c, byEx := range ce.results {
+		ck := c.Key()
+		m := cs.Verdicts[ck]
+		if m == nil {
+			m = make(map[string]bool, len(byEx))
+			cs.Verdicts[ck] = m
+		}
+		for ek, v := range byEx {
+			m[ek] = v
+		}
+	}
+	return cs
+}
+
+// DropExamples removes the given example keys from the carried state —
+// both their ground entries and every clause's verdict against them —
+// so the repair run recomputes them against the post-batch database.
+func (cs *CarriedState) DropExamples(keys []string) {
+	dropped := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		dropped[k] = true
+		delete(cs.Entries, k)
+		for _, byEx := range cs.Verdicts {
+			delete(byEx, k)
+		}
+	}
+	// ARMG keys are rendered clause + NUL + example key; neither side
+	// contains a NUL of its own, so the last NUL splits them.
+	for k := range cs.ARMG {
+		if i := strings.LastIndexByte(k, 0); i >= 0 && dropped[k[i+1:]] {
+			delete(cs.ARMG, k)
+		}
+	}
+}
+
+// Verdict reads one carried verdict by (clause canonical key, example
+// key); ok is false if the pair was dropped or never tested.
+func (cs *CarriedState) Verdict(clauseKey, exampleKey string) (v, ok bool) {
+	v, ok = cs.Verdicts[clauseKey][exampleKey]
+	return v, ok
+}
+
+// AdoptCarried installs a previous run's coverage state on this engine.
+// Must be called before the engine runs (the SetWorkers contract): it
+// replaces the intern table, seeds the ground-entry cache, and arms the
+// carried-verdict store consulted by covers. Pure ground-BC mode is
+// forced on — carried entries are only reusable when cache misses build
+// order-independent BCs, and repair correctness requires both the
+// original and repair runs to have used pure mode.
+func (ce *CoverageEngine) AdoptCarried(cs *CarriedState) {
+	ce.in = cs.Interner
+	ce.builder.SetInterner(cs.Interner)
+	ce.pureGround = true
+	ce.mu.Lock()
+	for k, ent := range cs.Entries {
+		ce.cache[k] = ent
+	}
+	for k, cand := range cs.ARMG {
+		ce.armg[k] = cand
+	}
+	ce.mu.Unlock()
+	ce.carried = cs.Verdicts
+}
+
+// clauseKey returns c's canonical key, memoized by pointer (clauses are
+// immutable once built, so the pointer identifies the canonical form).
+func (ce *CoverageEngine) clauseKey(c *logic.Clause) string {
+	ce.mu.RLock()
+	ck, ok := ce.ckeys[c]
+	ce.mu.RUnlock()
+	if ok {
+		return ck
+	}
+	ck = c.Key()
+	ce.mu.Lock()
+	if ce.ckeys == nil {
+		ce.ckeys = make(map[*logic.Clause]string)
+	}
+	ce.ckeys[c] = ck
+	ce.mu.Unlock()
+	return ck
+}
+
+// clauseString returns c's rendered form, memoized by pointer. Unlike
+// clauseKey it is name-sensitive: two clauses equal up to variable
+// renaming render differently, which is exactly what the armg memo
+// needs (its stored results carry the input clause's variable names).
+func (ce *CoverageEngine) clauseString(c *logic.Clause) string {
+	ce.mu.RLock()
+	s, ok := ce.cstrs[c]
+	ce.mu.RUnlock()
+	if ok {
+		return s
+	}
+	s = c.String()
+	ce.mu.Lock()
+	if ce.cstrs == nil {
+		ce.cstrs = make(map[*logic.Clause]string)
+	}
+	ce.cstrs[c] = s
+	ce.mu.Unlock()
+	return s
+}
+
+// carriedVerdict consults the carried-verdict store for a (clause,
+// example) pair. The store is read-only after AdoptCarried, so reads
+// are lock-free; only the clause-key memo needs the engine lock.
+func (ce *CoverageEngine) carriedVerdict(c *logic.Clause, key string) (bool, bool) {
+	if ce.carried == nil {
+		return false, false
+	}
+	v, ok := ce.carried[ce.clauseKey(c)][key]
+	if ok {
+		ce.carriedHits.Add(1)
+	}
+	return v, ok
+}
+
+// CarriedHits reports how many coverage tests were answered from the
+// carried-verdict store — the work incremental repair avoided. It is a
+// deterministic function of the carried store and the pairs the learner
+// tests, identical at every worker count.
+func (ce *CoverageEngine) CarriedHits() int64 { return ce.carriedHits.Load() }
+
+// StaleExamples narrows a candidate dirty set to the examples whose
+// ground BC actually changed on the post-batch database. For each
+// candidate it rebuilds the BC on a derived-seed builder clone (pure
+// mode, cache-free — the engine's own caches are untouched) and
+// compares it textually against the carried entry. A coverage verdict
+// is a pure function of (configuration, clause, ground BC), so a
+// bit-identical BC proves every carried verdict for that example is
+// still valid; only genuinely changed examples need recomputation. This
+// is the second, exact filter behind AffectedExamples' value-level
+// screen: common constant values can mark most of the corpus as
+// possibly-affected while the batch leaves almost every BC untouched
+// (duplicate tuples, values in un-sampled rows), and a BC rebuild costs
+// microseconds against the seconds of subsumption work a dropped
+// example forces the replay to redo.
+//
+// Candidates without a carried entry or without a known example object
+// are stale by definition. A construction error marks the example stale
+// (the replay reproduces the cold path's handling); context
+// cancellation aborts. Must be called on the repair engine before
+// AdoptCarried, with pure ground-BC provenance on — enforced by the
+// facade's repair gate.
+func (ce *CoverageEngine) StaleExamples(ctx context.Context, cs *CarriedState, dirty []string, examples map[string]Example) ([]string, error) {
+	var stale []string
+	for _, key := range dirty {
+		old, haveOld := cs.Entries[key]
+		e, haveEx := examples[key]
+		if !haveOld || !haveEx {
+			stale = append(stale, key)
+			continue
+		}
+		bc, err := ce.rebuildBC(ctx, key, e)
+		if err != nil {
+			if isCtxErr(err) {
+				return nil, err
+			}
+			stale = append(stale, key)
+			continue
+		}
+		if bc.String() != old.bc.String() {
+			stale = append(stale, key)
+		}
+	}
+	sort.Strings(stale)
+	return stale, nil
+}
+
+// rebuildBC constructs the example's ground BC on a derived-seed builder
+// clone without touching the engine caches; panics are isolated to an
+// error like the pooled build path does.
+func (ce *CoverageEngine) rebuildBC(ctx context.Context, key string, e Example) (bc *logic.Clause, err error) {
+	defer recoverToErr(&err)
+	b := ce.builder.CloneSeeded(ce.seedFor(key))
+	return b.ConstructGroundCtx(ctx, e)
+}
+
+// AffectedExamples returns, sorted, the keys of cached examples whose
+// ground BC could change after a data batch that inserted or deleted
+// tuples containing the given constant values.
+//
+// The invalidation argument (DESIGN.md §16): under naive sampling, BC
+// construction grows each depth's frontier via rel.Lookup(attr, c) for
+// constants c already in the clause, so a tuple joins an example's BC
+// only if one of its values matches a constant already among the BC's
+// literals (the head contributes the example's own arguments). A tuple
+// sharing no value with the BC can never be a lookup candidate — it
+// neither adds literals nor perturbs the per-depth sample — so the BC
+// is unchanged. Values absent from the intern table appear in no cached
+// BC and are skipped outright. Callers using non-naive sampling
+// strategies must treat every example as affected (the relation-wide
+// MaxFrequency those strategies consult can shift under any mutation);
+// the facade enforces that fallback.
+func (ce *CoverageEngine) AffectedExamples(values []string) []string {
+	ids := make(map[int32]bool, len(values))
+	for _, v := range values {
+		if id, ok := ce.in.Lookup(v); ok {
+			ids[id] = true
+		}
+	}
+	var keys []string
+	ce.mu.RLock()
+	for k, ent := range ce.cache {
+		if ent.cg.HasAnySymbol(ids) {
+			keys = append(keys, k)
+		}
+	}
+	ce.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
+}

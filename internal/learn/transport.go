@@ -111,12 +111,21 @@ func (ce *CoverageEngine) CoversLocalPooledCtx(ctx context.Context, c *logic.Cla
 // MemoizedCovers returns the memoized verdict for (c, example key), if
 // the pair has been resolved before. Transports consult it so examples
 // already settled — locally or by an earlier remote response — are
-// never re-shipped.
+// never re-shipped. Carried verdicts from an incremental-repair run
+// (AdoptCarried) resolve here too, so a repair run over a sharded
+// transport never ships pairs the previous run already settled.
 func (ce *CoverageEngine) MemoizedCovers(c *logic.Clause, key string) (v, ok bool) {
 	ce.mu.RLock()
 	v, ok = ce.results[c][key]
 	ce.mu.RUnlock()
-	return v, ok
+	if ok {
+		return v, true
+	}
+	if v, ok := ce.carriedVerdict(c, key); ok {
+		ce.memoize(c, key, v)
+		return v, true
+	}
+	return false, false
 }
 
 // MemoizeRemote records a remotely computed verdict for (c, example

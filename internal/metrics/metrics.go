@@ -173,6 +173,22 @@ const (
 	// ServeShadowMismatches counts shadow-compared predictions whose
 	// shadow verdict differed from the primary's. Gauge.
 	ServeShadowMismatches
+	// IngestBatches counts mutation batches committed by the ingest
+	// subsystem. Deterministic: a pure function of the applied stream.
+	IngestBatches
+	// IngestTuplesApplied counts tuples inserted plus tuples deleted by
+	// committed batches. Deterministic.
+	IngestTuplesApplied
+	// IngestExamplesDirty counts training examples invalidated by
+	// committed batches (their ground BC could differ on the post-batch
+	// database). Deterministic: a pure function of (theory state, batch).
+	IngestExamplesDirty
+	// IngestClausesInvalidated counts learned clauses whose coverage over
+	// the dirty example set changed after a batch. Deterministic.
+	IngestClausesInvalidated
+	// IngestRepairs counts incremental theory repairs run after commits
+	// (the fast no-op path included). Deterministic.
+	IngestRepairs
 
 	numCounters
 )
@@ -236,6 +252,11 @@ var counterDefs = [numCounters]counterDef{
 	ServeReloads:              {"serve.reloads", false, kindSum},
 	ServeShadowChecks:         {"serve.shadow_checks", false, kindSum},
 	ServeShadowMismatches:     {"serve.shadow_mismatches", false, kindSum},
+	IngestBatches:             {"ingest.batches", true, kindSum},
+	IngestTuplesApplied:       {"ingest.tuples_applied", true, kindSum},
+	IngestExamplesDirty:       {"ingest.examples_dirty", true, kindSum},
+	IngestClausesInvalidated:  {"ingest.clauses_invalidated", true, kindSum},
+	IngestRepairs:             {"ingest.repairs", true, kindSum},
 }
 
 // HistID identifies one histogram.

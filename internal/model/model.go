@@ -113,6 +113,11 @@ type Artifact struct {
 	SchemaFingerprint string `json:"schema_fingerprint"`
 	// Data names the training database so serving can rebind it.
 	Data DataRef `json:"data"`
+	// DataVersion is the database's ingest data version (internal/ingest)
+	// the theory was learned or repaired against — the snapshot name
+	// downstream consumers compare when deciding whether a served model
+	// is stale. Zero (omitted) for artifacts from static loads.
+	DataVersion uint64 `json:"data_version,omitempty"`
 	// BuildLog is the training engine's complete shared-builder build
 	// sequence; replaying it restores the exact ground BCs the learner
 	// tested against (see the package comment).

@@ -257,6 +257,11 @@ func (m *Model) Version() int { return m.version }
 // Artifact returns the bound artifact (read-only by convention).
 func (m *Model) Artifact() *model.Artifact { return m.art }
 
+// DataVersion returns the ingest data version the bound artifact was
+// learned or repaired against (0 for artifacts from static loads), so
+// operators can tell how far a served model lags live data.
+func (m *Model) DataVersion() uint64 { return m.art.DataVersion }
+
 // Definition returns the learned theory.
 func (m *Model) Definition() *logic.Definition { return m.def }
 

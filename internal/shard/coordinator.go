@@ -229,6 +229,15 @@ type Coordinator struct {
 	engine *learn.CoverageEngine
 	mc     *metrics.Collector
 
+	// dataVersion is the ingest data version (internal/ingest) the
+	// engine's database is at. Mixed into every example-set dictionary
+	// fingerprint (DictFingerprintV), so a committed batch retires all
+	// previously registered worker-side dictionaries: the next RPC's
+	// fingerprint is new, the coordinator sends the set inline, and the
+	// worker re-registers — the same flow as the 410 dict_unknown
+	// recovery, with no wire-protocol change.
+	dataVersion atomic.Uint64
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 }
@@ -275,6 +284,22 @@ func (co *Coordinator) Bind(e *learn.CoverageEngine) {
 
 // Shards returns the fleet's shard count.
 func (co *Coordinator) Shards() int { return len(co.shards) }
+
+// SetDataVersion records the data version of the coordinator engine's
+// database. A version change moves every dictionary fingerprint the
+// coordinator computes from here on, which invalidates all worker-side
+// example dictionaries registered under earlier versions — stale
+// workers simply see an unknown fingerprint and are re-registered
+// inline, the 410 dict_unknown recovery path. Safe to call between
+// runs; the gauge shard.dict_invalidations counts actual changes.
+func (co *Coordinator) SetDataVersion(v uint64) {
+	if co.dataVersion.Swap(v) != v {
+		co.mc.AddNamedGauge("shard.dict_invalidations", 1)
+	}
+}
+
+// DataVersion returns the coordinator's current data version.
+func (co *Coordinator) DataVersion() uint64 { return co.dataVersion.Load() }
 
 // Close releases idle connections. Safe after a failed run.
 func (co *Coordinator) Close() { co.client.CloseIdleConnections() }
@@ -439,7 +464,7 @@ func (co *Coordinator) countMany(ctx context.Context, clauses []*logic.Clause, e
 			for j, it := range grp {
 				gkeys[j] = it.key
 			}
-			req := batchReq{clauses: texts, keys: gkeys, dict: DictFingerprint(gkeys)}
+			req := batchReq{clauses: texts, keys: gkeys, dict: DictFingerprintV(co.dataVersion.Load(), gkeys)}
 			wg.Add(1)
 			go func(s int, grp []item, req batchReq) {
 				defer wg.Done()

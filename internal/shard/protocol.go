@@ -121,7 +121,20 @@ type BatchCoverageResponse struct {
 // collisions out of the question: a collision would silently misalign
 // verdicts, so the cheap-hash shortcut is not taken here.
 func DictFingerprint(keys []string) string {
+	return DictFingerprintV(0, keys)
+}
+
+// DictFingerprintV is DictFingerprint salted with the ingest data
+// version the coordinator's database is at. Version 0 (static loads)
+// reproduces the unsalted legacy fingerprint byte for byte, so old
+// coordinators and workers interoperate unchanged; any committed batch
+// moves the fingerprint, retiring every dictionary registered under
+// earlier versions through the ordinary re-registration flow.
+func DictFingerprintV(version uint64, keys []string) string {
 	h := sha256.New()
+	if version != 0 {
+		fmt.Fprintf(h, "v%d;", version)
+	}
 	for _, k := range keys {
 		fmt.Fprintf(h, "%d:", len(k))
 		h.Write([]byte(k))

@@ -114,3 +114,44 @@ func (cg *CompiledGround) SizeBytes() int64 {
 
 // BodyLen returns the number of ground body literals compiled.
 func (cg *CompiledGround) BodyLen() int { return cg.bodyLen }
+
+// HasAnySymbol reports whether any of the given interned ids appears as
+// a term value of the compiled ground clause — in the head or any body
+// row. It is the incremental-repair invalidation primitive
+// (internal/learn): a mutated tuple can change an example's ground BC
+// only if one of its values already appears among the BC's constants,
+// so a fast membership probe over the compiled extents decides whether
+// the cached entry survives a data batch.
+func (cg *CompiledGround) HasAnySymbol(ids map[int32]bool) bool {
+	if len(ids) == 0 {
+		return false
+	}
+	for _, v := range cg.headVals {
+		if ids[v] {
+			return true
+		}
+	}
+	for _, ext := range cg.preds {
+		// Probe the per-position posting maps where they exist (cheap:
+		// one map lookup per id per position)...
+		for p := 0; p < ext.arity; p++ {
+			idx := ext.index[p]
+			for id := range ids {
+				if len(idx[id]) > 0 {
+					return true
+				}
+			}
+		}
+		// ...and scan positions beyond the indexed arity (rows of a
+		// predicate whose literals vary in arity), which the index does
+		// not cover.
+		for _, row := range ext.rows {
+			for p := ext.arity; p < len(row); p++ {
+				if ids[row[p]] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -173,6 +173,69 @@ func TestStressSamplersAtVolume(t *testing.T) {
 	}
 }
 
+// TestStressStreamedIngest replays a million-tuple dataset through the
+// ingestion subsystem in bounded batches into an initially empty
+// database and requires the destination's index and statistics digest
+// to be byte-identical to the cold-loaded reference — incremental index
+// maintenance at volume must converge to exactly the state a bulk load
+// produces, with the data version counting the committed batches.
+func TestStressStreamedIngest(t *testing.T) {
+	mult := stressScale(t)
+	scale := 26.0 * mult // IMDb yields ~40k tuples per unit scale.
+	ds, err := autobias.GenerateDataset("imdb", scale, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := ds.DB
+	cold.BuildIndexes()
+	total := cold.TotalTuples()
+	t.Logf("imdb at scale %g: %d tuples", scale, total)
+	if mult >= 1 && total < 1_000_000 {
+		t.Errorf("full-scale run generated %d tuples, want >= 1M", total)
+	}
+
+	live := db.New(cold.Schema())
+	ing := autobias.NewIngestor(live, autobias.NewMetricsCollector())
+	ctx := context.Background()
+	const batchSize = 1 << 16
+	var batch []autobias.IngestMutation
+	var batches uint64
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		commit, err := ing.Apply(ctx, autobias.IngestBatch{Mutations: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches++
+		if commit.Version != batches || commit.Inserted != len(batch) {
+			t.Fatalf("batch %d: unexpected commit %+v", batches, commit)
+		}
+		batch = batch[:0]
+	}
+	for _, name := range cold.Schema().Names() {
+		for _, row := range cold.Relation(name).Snapshot() {
+			batch = append(batch, autobias.IngestMutation{Op: autobias.IngestInsert, Relation: name, Tuple: row})
+			if len(batch) == batchSize {
+				flush()
+			}
+		}
+	}
+	flush()
+	t.Logf("applied %d tuples across %d batches", total, batches)
+
+	if got, want := live.TotalTuples(), total; got != want {
+		t.Errorf("streamed database holds %d tuples, cold load holds %d", got, want)
+	}
+	if live.Version() != batches {
+		t.Errorf("data version %d after %d committed batches", live.Version(), batches)
+	}
+	if got, want := live.IndexDigest(), cold.IndexDigest(); got != want {
+		t.Errorf("streamed index/stats digest diverges from cold load:\n--- streamed\n%s\n--- cold\n%s", got, want)
+	}
+}
+
 // TestStressShardCoordinator drives the shard coordinator against an
 // in-process fleet of four single-replica workers over a scaled-up FLT
 // dataset and requires the distributed theory to be bit-identical to
