@@ -353,6 +353,59 @@ func TestRepairCrashMidRepairResumes(t *testing.T) {
 	}
 }
 
+// TestRepairStaleCommitFallsBack pins the defensive fallbacks: a
+// commit whose version no longer matches the database (later batches
+// landed before repair ran), or one stripped of its change summary,
+// cannot drive the invalidation probe soundly and must degrade to a
+// full re-learn rather than replaying stale carried verdicts.
+func TestRepairStaleCommitFallsBack(t *testing.T) {
+	ctx := context.Background()
+	task, _ := liveTask(t)
+	opts := autobias.Options{Method: autobias.MethodAutoBias, Seed: 1, Workers: 1, PureGroundBCs: true}
+	prev, err := autobias.LearnCtx(ctx, task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing := autobias.NewIngestor(task.DB, nil)
+	commit, err := ing.Apply(ctx, duplicateBatch(t, task, 61, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second batch lands before repair runs with the first commit.
+	if _, err := ing.Apply(ctx, duplicateBatch(t, task, 62, 4)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := autobias.RepairCtx(ctx, prev, task, commit, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FullRelearn {
+		t.Fatal("stale-version commit did not fall back to a full re-learn")
+	}
+	relearn, err := autobias.LearnCtx(ctx, task, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result.Definition.String() != relearn.Definition.String() {
+		t.Error("fallback theory diverges from re-learn")
+	}
+
+	// A commit that applied tuples but lost its change summary (a
+	// hand-built wire commit) must also fall back.
+	commit3, err := ing.Apply(ctx, duplicateBatch(t, task, 63, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit3.Values = nil
+	rep3, err := autobias.RepairCtx(ctx, relearn, task, commit3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep3.FullRelearn {
+		t.Fatal("summary-less commit did not fall back to a full re-learn")
+	}
+}
+
 // TestRepairCrashMidCommit proves commit atomicity end to end: a fault
 // at ingest.commit leaves the database, its version, and a subsequent
 // repair exactly as if the batch had never been submitted.

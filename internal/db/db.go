@@ -13,11 +13,13 @@
 //
 // Mutation is synchronized with readers through the same lock: every
 // accessor captures a consistent (tuples, index) view under the read
-// lock, Insert maintains already-built indexes incrementally under the
-// write lock (appends are position-stable, so the maintained index is
-// byte-identical to a cold rebuild), and deletes copy-on-write the
-// tuple slice and invalidate the affected indexes for lazy rebuild —
-// a reader that captured the previous view keeps a consistent snapshot.
+// lock, and a published index map is never mutated again — Insert
+// copy-on-writes already-built indexes under the write lock (appends
+// are position-stable, so the maintained index is byte-identical to a
+// cold rebuild, and the updated map is a fresh one published alongside
+// the grown tuple slice), while deletes copy-on-write the tuple slice
+// and invalidate the affected indexes for lazy rebuild — a reader that
+// captured the previous view keeps a consistent, immutable snapshot.
 // The explicit Invalidate/Rebuild entry points expose the same
 // machinery to callers that mutate Tuples directly (the load-phase
 // idiom some transforms use). Direct iteration of the exported Tuples
@@ -127,9 +129,10 @@ type Relation struct {
 	Tuples []Tuple
 
 	// mu guards the lazy index structures below. Reads take the read
-	// lock only until the index is known to exist; once built, an index
-	// is immutable until the next Insert, so returning it and reading it
-	// outside the lock is safe.
+	// lock only until the index is known to exist; once published, an
+	// index map is never mutated again — inserts copy-on-write it,
+	// deletes invalidate it — so returning it and reading it outside
+	// the lock is safe even during concurrent mutation.
 	mu sync.RWMutex
 	// indexes[i] maps a value of attribute i to the positions of the
 	// tuples holding it. Built by buildIndex on first use.
@@ -162,19 +165,44 @@ func (r *Relation) Snapshot() []Tuple {
 // statistics are maintained incrementally — an append is
 // position-stable, so the maintained postings lists and max-frequency
 // values are byte-identical to a cold rebuild. Safe to run concurrently
-// with readers: they hold consistent snapshots taken under the lock.
+// with readers: the maintained indexes are copy-on-write (see
+// cloneIndexesLocked), so a reader holding the previously published
+// (tuples, index) pair keeps an immutable, consistent snapshot.
 func (r *Relation) Insert(t Tuple) error {
 	if len(t) != r.Schema.Arity() {
 		return fmt.Errorf("db: %s: tuple arity %d, want %d", r.Schema.Name, len(t), r.Schema.Arity())
 	}
 	r.mu.Lock()
+	r.cloneIndexesLocked()
 	r.insertLocked(t)
 	r.mu.Unlock()
 	return nil
 }
 
+// cloneIndexesLocked replaces every built attribute index with a fresh
+// shallow copy, so the maps already handed to readers by view() are
+// never mutated again (a concurrent read of a map being written is a
+// fatal runtime race). The postings slices are shared: an insert
+// appends past the old slice's length, which readers of the previous
+// snapshot never access — the same position-stability argument that
+// makes the shared Tuples append safe. Caller holds mu; call once per
+// locked mutation batch, before the first insertLocked.
+func (r *Relation) cloneIndexesLocked() {
+	for i, idx := range r.indexes {
+		if idx == nil {
+			continue
+		}
+		clone := make(map[string][]int, len(idx))
+		for v, ps := range idx {
+			clone[v] = ps
+		}
+		r.indexes[i] = clone
+	}
+}
+
 // insertLocked appends t and incrementally maintains whatever indexes
-// are already built. Caller holds mu.
+// are already built. Caller holds mu and has already copy-on-written
+// the built indexes for this batch (cloneIndexesLocked).
 func (r *Relation) insertLocked(t Tuple) {
 	pos := len(r.Tuples)
 	r.Tuples = append(r.Tuples, t)
@@ -203,6 +231,7 @@ func (r *Relation) InsertBatch(ts []Tuple) error {
 		}
 	}
 	r.mu.Lock()
+	r.cloneIndexesLocked()
 	for _, t := range ts {
 		r.insertLocked(t)
 	}
@@ -330,8 +359,9 @@ func (r *Relation) buildIndexLocked(i int) {
 // together with the index and max frequency of attribute i, building
 // the index first if needed (double-checked: the fast path takes only
 // the read lock). The pair is consistent — the postings positions are
-// valid for exactly the returned slice — which is what keeps readers
-// correct during concurrent mutation.
+// valid for exactly the returned slice — and the returned map is
+// immutable (mutation paths copy-on-write or replace it), which is
+// what keeps readers correct during concurrent mutation.
 func (r *Relation) view(i int) ([]Tuple, map[string][]int, int) {
 	r.mu.RLock()
 	if r.indexes != nil && r.indexes[i] != nil {

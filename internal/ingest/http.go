@@ -24,9 +24,11 @@ import (
 type Server struct {
 	ing *Ingestor
 	lim *httpx.Limiter
-	// OnCommit, when non-nil, runs synchronously after each commit,
-	// before the HTTP response. Commits serialize through the ingestor's
-	// lock plus the handler's call, so hooks observe versions in order.
+	// OnCommit, when non-nil, runs synchronously after each commit while
+	// the ingestor's commit lock is still held (Ingestor.ApplyAndNotify),
+	// before the HTTP response. Even with concurrent requests in flight,
+	// hooks therefore observe strictly increasing versions against a
+	// database holding exactly the batches up to their own.
 	OnCommit func(Commit)
 	// StreamBatch bounds mutations per streamed commit (<= 0 → 512).
 	StreamBatch int
@@ -80,13 +82,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("ingest: decode batch: %w", err))
 		return
 	}
-	c, err := s.ing.Apply(r.Context(), b)
+	c, err := s.ing.ApplyAndNotify(r.Context(), b, s.OnCommit)
 	if err != nil {
 		s.failApply(w, err)
 		return
-	}
-	if s.OnCommit != nil {
-		s.OnCommit(c)
 	}
 	httpx.WriteJSON(w, http.StatusOK, c)
 }
@@ -106,19 +105,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.ing.NewStream(s.StreamBatch)
+	st.OnCommit = s.OnCommit
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	line := 0
-	prevCommits := 0
-	notify := func() {
-		if s.OnCommit == nil {
-			return
-		}
-		for _, c := range st.Commits[prevCommits:] {
-			s.OnCommit(c)
-		}
-		prevCommits = len(st.Commits)
-	}
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -135,7 +125,6 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			s.failApply(w, err)
 			return
 		}
-		notify()
 	}
 	if err := sc.Err(); err != nil {
 		httpx.Fail(w, http.StatusBadRequest, httpx.ErrCodeBadRequest,
@@ -146,7 +135,6 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		s.failApply(w, err)
 		return
 	}
-	notify()
 	resp := streamResponse{Batches: len(st.Commits)}
 	for _, c := range st.Commits {
 		resp.Inserted += c.Inserted

@@ -1,6 +1,6 @@
 // Package ingest is the live-data mutation subsystem (DESIGN.md §16): it
 // accepts batched and streamed tuple inserts/deletes against an
-// internal/db database, applies each batch atomically under the
+// internal/db database, applies each batch all-or-nothing under the
 // database's RWMutex discipline (per-attribute indexes and
 // distinct-value statistics are maintained incrementally or invalidated
 // for lazy rebuild), and assigns every committed batch a monotonically
@@ -8,16 +8,25 @@
 // theory repairer, model artifacts, shard worker dictionaries — can name
 // the snapshot they computed against.
 //
-// Commit semantics are all-or-nothing: a batch is validated in full
-// (schema membership, arity, delete existence under bag semantics)
-// before any tuple is touched, so a rejected batch leaves the database
-// and its version unchanged. One batch commits at a time; the commit
-// returns the distinct constant values the batch touched, which is
-// exactly the input the repairer's invalidation probe needs.
+// Commit semantics are all-or-nothing with respect to failure: a batch
+// is validated in full (schema membership, arity, delete existence
+// under bag semantics) before any tuple is touched, so a rejected
+// batch leaves the database and its version unchanged. One batch
+// commits at a time, but application is per-relation under each
+// relation's own lock — a concurrent reader may briefly observe a
+// batch mid-application (all inserts land before any delete, relation
+// by relation, with the version advancing last). Consumers that need a
+// batch-consistent view serialize behind the commit instead of
+// polling: the ApplyAndNotify hook runs while the commit lock is still
+// held, so it observes the database holding exactly the batches up to
+// and including its own, in version order. The commit returns the
+// distinct constant values the batch touched, which is exactly the
+// input the repairer's invalidation probe needs.
 package ingest
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -44,8 +53,8 @@ type Mutation struct {
 	Tuple    []string `json:"tuple"`
 }
 
-// Batch is an ordered set of mutations committed atomically under one
-// data version.
+// Batch is an ordered set of mutations committed all-or-nothing under
+// one data version (see the package doc for the visibility scope).
 type Batch struct {
 	Mutations []Mutation `json:"mutations"`
 }
@@ -66,8 +75,29 @@ type Commit struct {
 	Relations []string `json:"relations"`
 	// Values lists the distinct constant values appearing in mutated
 	// tuples, sorted — the invalidation probe input for incremental
-	// repair (learn.CoverageEngine.AffectedExamples).
-	Values []string `json:"-"`
+	// repair (learn.CoverageEngine.AffectedExamples). Serialized so a
+	// commit rehydrated from an HTTP response can still drive repair.
+	Values []string `json:"values"`
+}
+
+// UnmarshalJSON rehydrates a commit from its wire form, rebuilding the
+// Touched set (not serialized; Relations carries the same information)
+// so a commit decoded from an HTTP response is interchangeable with
+// the one Apply returned.
+func (c *Commit) UnmarshalJSON(data []byte) error {
+	type wire Commit
+	var w wire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*c = Commit(w)
+	if c.Touched == nil && len(c.Relations) > 0 {
+		c.Touched = make(map[string]bool, len(c.Relations))
+		for _, name := range c.Relations {
+			c.Touched[name] = true
+		}
+	}
+	return nil
 }
 
 // Ingestor applies mutation batches to a database. Safe for concurrent
@@ -98,6 +128,18 @@ func (ing *Ingestor) Version() uint64 { return ing.d.Version() }
 // crash models a process dying before the batch lands — the commit
 // either happens in full or not at all.
 func (ing *Ingestor) Apply(ctx context.Context, b Batch) (Commit, error) {
+	return ing.ApplyAndNotify(ctx, b, nil)
+}
+
+// ApplyAndNotify is Apply plus a commit hook that runs while the
+// ingestor's commit lock is still held: no later batch can validate or
+// commit until the hook returns, so even with concurrent callers every
+// hook observes strictly increasing versions against a database
+// holding exactly the batches up to and including its own. That is the
+// property incremental repair (autobias.RepairCtx) needs — a repair
+// driven from the hook never sees data from a batch whose change
+// summary it was not handed.
+func (ing *Ingestor) ApplyAndNotify(ctx context.Context, b Batch, onCommit func(Commit)) (Commit, error) {
 	if len(b.Mutations) == 0 {
 		return Commit{}, fmt.Errorf("ingest: empty batch")
 	}
@@ -108,11 +150,17 @@ func (ing *Ingestor) Apply(ctx context.Context, b Batch) (Commit, error) {
 	}
 
 	// Validate everything before touching anything. Deletes are checked
-	// under bag semantics against the pre-batch multiplicity plus
-	// same-batch inserts of the same tuple (inserts apply first).
+	// under bag semantics against the pre-batch multiplicity plus every
+	// same-batch insert of the same tuple, independent of mutation order
+	// — the commit applies all inserts before any delete, so
+	// [delete t, insert t] is exactly as valid as [insert t, delete t].
 	inserts := make(map[string][]db.Tuple)
 	deletes := make(map[string][]db.Tuple)
-	type pending struct{ ins, del int }
+	type pending struct {
+		t        db.Tuple
+		ins, del int
+		checked  bool
+	}
 	counts := make(map[string]map[string]*pending)
 	values := make(map[string]bool)
 	for i, m := range b.Mutations {
@@ -133,7 +181,7 @@ func (ing *Ingestor) Apply(ctx context.Context, b Batch) (Commit, error) {
 		}
 		p := byKey[key]
 		if p == nil {
-			p = &pending{}
+			p = &pending{t: t}
 			byKey[key] = p
 		}
 		switch m.Op {
@@ -142,16 +190,30 @@ func (ing *Ingestor) Apply(ctx context.Context, b Batch) (Commit, error) {
 			inserts[m.Relation] = append(inserts[m.Relation], t)
 		case OpDelete:
 			p.del++
-			if have := rel.Count(t) + p.ins; p.del > have {
-				return Commit{}, fmt.Errorf("ingest: mutation %d: delete of %q%v exceeds multiplicity %d",
-					i, m.Relation, []string(t), have)
-			}
 			deletes[m.Relation] = append(deletes[m.Relation], t)
 		default:
 			return Commit{}, fmt.Errorf("ingest: mutation %d: unknown op %q", i, m.Op)
 		}
 		for _, v := range t {
 			values[v] = true
+		}
+	}
+	// Second pass: with the batch's full insert counts known, check each
+	// deleted tuple's multiplicity once, at its first delete mutation —
+	// iterating the mutations (not the maps) keeps the reported failure
+	// deterministic.
+	for i, m := range b.Mutations {
+		if m.Op != OpDelete {
+			continue
+		}
+		p := counts[m.Relation][tupleKey(db.Tuple(m.Tuple))]
+		if p.checked {
+			continue
+		}
+		p.checked = true
+		if have := ing.d.Relation(m.Relation).Count(p.t) + p.ins; p.del > have {
+			return Commit{}, fmt.Errorf("ingest: mutation %d: delete of %q%v exceeds multiplicity %d",
+				i, m.Relation, []string(p.t), have)
 		}
 	}
 
@@ -184,6 +246,9 @@ func (ing *Ingestor) Apply(ctx context.Context, b Batch) (Commit, error) {
 
 	ing.mc.Inc(metrics.IngestBatches)
 	ing.mc.Add(metrics.IngestTuplesApplied, int64(c.Inserted+c.Deleted))
+	if onCommit != nil {
+		onCommit(c)
+	}
 	return c, nil
 }
 
@@ -207,6 +272,9 @@ type Stream struct {
 	ing   *Ingestor
 	limit int
 	buf   []Mutation
+	// OnCommit, when non-nil, runs under the ingestor's commit lock for
+	// every batch the stream commits (see Ingestor.ApplyAndNotify).
+	OnCommit func(Commit)
 	// Commits records every batch committed through the stream.
 	Commits []Commit
 }
@@ -234,7 +302,7 @@ func (s *Stream) Flush(ctx context.Context) error {
 	if len(s.buf) == 0 {
 		return nil
 	}
-	c, err := s.ing.Apply(ctx, Batch{Mutations: s.buf})
+	c, err := s.ing.ApplyAndNotify(ctx, Batch{Mutations: s.buf}, s.OnCommit)
 	if err != nil {
 		return err
 	}

@@ -2,10 +2,12 @@ package ingest
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/db"
@@ -106,6 +108,108 @@ func TestApplyBagDeleteWithinBatch(t *testing.T) {
 	}})
 	if err == nil {
 		t.Fatal("over-delete within batch accepted")
+	}
+}
+
+// Delete validation is order-independent: the commit applies every
+// insert before any delete, so a delete listed ahead of the insert
+// that satisfies it must validate.
+func TestApplyDeleteBeforeInsertOrderIndependent(t *testing.T) {
+	d := testDB()
+	ing := New(d, nil)
+	c, err := ing.Apply(context.Background(), Batch{Mutations: []Mutation{
+		{Op: OpDelete, Relation: "edge", Tuple: []string{"u", "u"}},
+		{Op: OpInsert, Relation: "edge", Tuple: []string{"u", "u"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Inserted != 1 || c.Deleted != 1 {
+		t.Fatalf("commit = %+v", c)
+	}
+	if d.Relation("edge").Count(db.Tuple{"u", "u"}) != 0 {
+		t.Fatal("net-zero batch left a tuple behind")
+	}
+	// Two deletes against one same-batch insert still over-delete,
+	// whatever the order.
+	if _, err := ing.Apply(context.Background(), Batch{Mutations: []Mutation{
+		{Op: OpDelete, Relation: "edge", Tuple: []string{"x", "x"}},
+		{Op: OpDelete, Relation: "edge", Tuple: []string{"x", "x"}},
+		{Op: OpInsert, Relation: "edge", Tuple: []string{"x", "x"}},
+	}}); err == nil {
+		t.Fatal("over-delete accepted")
+	}
+}
+
+// A commit must survive the wire: Values serialized, Touched rebuilt
+// from Relations on rehydration — otherwise a client-side repair sees
+// an empty change summary and silently keeps a stale theory.
+func TestCommitJSONRoundTrip(t *testing.T) {
+	d := testDB()
+	ing := New(d, nil)
+	c, err := ing.Apply(context.Background(), Batch{Mutations: []Mutation{
+		{Op: OpInsert, Relation: "edge", Tuple: []string{"j1", "j2"}},
+		{Op: OpDelete, Relation: "label", Tuple: []string{"n0", "t0"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Commit
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(back.Values) != fmt.Sprint(c.Values) {
+		t.Fatalf("Values did not survive the wire: %v != %v", back.Values, c.Values)
+	}
+	if !back.Touched["edge"] || !back.Touched["label"] || len(back.Touched) != 2 {
+		t.Fatalf("Touched not rebuilt from Relations: %v", back.Touched)
+	}
+	if back.Version != c.Version || back.Inserted != c.Inserted || back.Deleted != c.Deleted {
+		t.Fatalf("round-trip commit = %+v, want %+v", back, c)
+	}
+}
+
+// ApplyAndNotify's contract: hooks run under the commit lock, so with
+// concurrent callers every hook sees the database version equal to its
+// own commit's, and versions arrive in strictly increasing order.
+func TestApplyAndNotifyOrdersHooks(t *testing.T) {
+	d := testDB()
+	ing := New(d, nil)
+	var seen []uint64
+	hook := func(c Commit) {
+		if v := d.Version(); v != c.Version {
+			t.Errorf("hook for version %d sees database version %d", c.Version, v)
+		}
+		seen = append(seen, c.Version) // hooks are serialized by the commit lock
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				b := Batch{Mutations: []Mutation{
+					{Op: OpInsert, Relation: "edge", Tuple: []string{fmt.Sprintf("g%d", g), fmt.Sprintf("i%d", i)}},
+				}}
+				if _, err := ing.ApplyAndNotify(context.Background(), b, hook); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(seen) != 80 {
+		t.Fatalf("hooks fired %d times, want 80", len(seen))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] != seen[i-1]+1 {
+			t.Fatalf("hook versions out of order: %v", seen)
+		}
 	}
 }
 

@@ -134,6 +134,20 @@ func RepairCtx(ctx context.Context, prev *Result, task Task, commit IngestCommit
 		return finish(&Repair{Result: res, BiasDrift: drift, FullRelearn: true}), nil
 	}
 
+	// Defensive fallbacks for commits that cannot drive the invalidation
+	// probe soundly. A version skew means other batches have landed since
+	// this commit (its Values/Touched understate the real delta), and a
+	// commit that applied tuples but carries no change summary (e.g. a
+	// partially rehydrated wire commit) gives the probe nothing to screen
+	// with. Both degrade to a full re-learn, which is correct for
+	// whatever state the database now holds. Commits observed through
+	// Ingestor.ApplyAndNotify never skew: the hook runs under the commit
+	// lock.
+	if task.DB.Version() != commit.Version ||
+		(commit.Inserted+commit.Deleted > 0 && (len(commit.Touched) == 0 || len(commit.Values) == 0)) {
+		return fullRelearn(nil, false)
+	}
+
 	// Refresh the INDs and re-induce the bias; a changed bias invalidates
 	// every mode the learner searched under, so drift forces the full
 	// re-learn path (with the refreshed INDs reused).
